@@ -1,0 +1,67 @@
+//! Criterion benches that regenerate each paper figure at reduced scale —
+//! one bench per table/figure, so `cargo bench` exercises every
+//! experiment's full code path and tracks its cost.
+//!
+//! Full-scale regeneration lives in the `fig*`/`table*` harness binaries;
+//! these benches use a small suite sample so a bench run stays minutes,
+//! not hours.
+
+use chirp_sim::experiments::{
+    fig10_penalty, fig11_access_rate, fig1_efficiency, fig2_history, fig3_adaline,
+    fig6_ablation, fig7_mpki, fig8_speedup, fig9_table_size, opt_bound,
+};
+use chirp_sim::RunnerConfig;
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn small_config() -> RunnerConfig {
+    RunnerConfig { instructions: 60_000, threads: 4, ..Default::default() }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let suite = build_suite(&SuiteConfig { benchmarks: 4 });
+    let config = small_config();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig1_efficiency", |b| {
+        b.iter(|| fig1_efficiency::run(&suite, &config))
+    });
+    group.bench_function("fig2_history_length", |b| {
+        b.iter(|| fig2_history::run(&suite, &config, &[8, 16]))
+    });
+    group.bench_function("fig3_adaline", |b| b.iter(|| fig3_adaline::run(&suite, &config)));
+    group.bench_function("fig6_ablation", |b| b.iter(|| fig6_ablation::run(&suite, &config)));
+    group.bench_function("fig7_mpki", |b| b.iter(|| fig7_mpki::run(&suite, &config)));
+    group.bench_function("fig8_speedup", |b| b.iter(|| fig8_speedup::run(&suite, &config)));
+    group.bench_function("fig9_table_size", |b| {
+        b.iter(|| fig9_table_size::run(&suite, &config))
+    });
+    group.bench_function("fig10_penalty_sweep", |b| {
+        b.iter(|| fig10_penalty::run(&suite, &config, &[20, 150, 340]))
+    });
+    group.bench_function("fig11_access_rate", |b| {
+        b.iter(|| fig11_access_rate::run(&suite, &config))
+    });
+    group.bench_function("ext_opt_bound", |b| b.iter(|| opt_bound::run(&suite, &config)));
+    group.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.bench_function("table1_storage", |b| {
+        b.iter(|| {
+            chirp_core::storage_report(
+                chirp_tlb::TlbGeometry::default(),
+                &chirp_core::ChirpConfig::default(),
+            )
+        })
+    });
+    group.bench_function("table2_params", |b| {
+        b.iter(|| chirp_sim::SimConfig::default().render_table_ii())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Calibration tool: per-benchmark and average MPKI for every policy on a
+//! suite sample — the quick look used while tuning workloads and policies.
+
+use chirp_bench::HarnessArgs;
+use chirp_sim::report::Table;
+use chirp_sim::runner::group_by_benchmark;
+use chirp_sim::{run_suite, PolicyKind, RunnerConfig};
+use chirp_trace::suite::{build_suite, SuiteConfig};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
+    let policies = PolicyKind::paper_lineup();
+    let config = RunnerConfig {
+        instructions: args.instructions,
+        threads: args.threads,
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    let runs = run_suite(&suite, &policies, &config);
+    eprintln!(
+        "simulated {} benchmarks x {} policies x {} instr in {:.1}s",
+        suite.len(),
+        policies.len(),
+        args.instructions,
+        t0.elapsed().as_secs_f64()
+    );
+
+    let mut table = Table::new(
+        ["benchmark"].into_iter().chain(policies.iter().map(|p| p.name())).collect::<Vec<_>>(),
+    );
+    let mut sums = vec![0.0f64; policies.len()];
+    let mut ipc_sums = vec![0.0f64; policies.len()];
+    let grouped = group_by_benchmark(&runs, policies.len());
+    for group in &grouped {
+        let mut cells = vec![group[0].benchmark.clone()];
+        for (i, run) in group.iter().enumerate() {
+            let mpki = run.result.mpki();
+            sums[i] += mpki;
+            ipc_sums[i] += run.result.ipc();
+            cells.push(format!("{mpki:.3}"));
+        }
+        table.row(cells);
+    }
+    let n = grouped.len() as f64;
+    let mut avg = vec!["AVG MPKI".to_string()];
+    for s in &sums {
+        avg.push(format!("{:.3}", s / n));
+    }
+    table.row(avg);
+    let mut red = vec!["red. vs LRU %".to_string()];
+    for s in &sums {
+        red.push(format!("{:.2}", (sums[0] - s) / sums[0] * 100.0));
+    }
+    table.row(red);
+    let mut ipc = vec!["AVG IPC".to_string()];
+    for s in &ipc_sums {
+        ipc.push(format!("{:.4}", s / n));
+    }
+    table.row(ipc);
+    println!("{}", table.render());
+
+    // Per-category MPKI averages.
+    let mut cat_table = Table::new(
+        ["category"].into_iter().chain(policies.iter().map(|p| p.name())).collect::<Vec<_>>(),
+    );
+    let mut by_cat: std::collections::BTreeMap<String, (usize, Vec<f64>)> =
+        std::collections::BTreeMap::new();
+    for group in &grouped {
+        let entry = by_cat
+            .entry(group[0].category.label().to_string())
+            .or_insert_with(|| (0, vec![0.0; policies.len()]));
+        entry.0 += 1;
+        for (i, run) in group.iter().enumerate() {
+            entry.1[i] += run.result.mpki();
+        }
+    }
+    for (cat, (count, sums)) in by_cat {
+        let mut cells = vec![format!("{cat} ({count})")];
+        for s in &sums {
+            cells.push(format!("{:.3}", s / count as f64));
+        }
+        cat_table.row(cells);
+    }
+    println!("{}", cat_table.render());
+}

@@ -1,0 +1,58 @@
+//! Extension: compare the paper's lineup against the extra baselines this
+//! repository implements (DRRIP, perceptron reuse prediction).
+//! Writes `results/ext_baselines.csv`.
+
+use chirp_bench::HarnessArgs;
+use chirp_sim::report::Table;
+use chirp_sim::runner::group_by_benchmark;
+use chirp_sim::{run_suite, PolicyKind, RunnerConfig};
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use std::path::Path;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
+    let mut policies = PolicyKind::paper_lineup();
+    policies.push(PolicyKind::Drrip);
+    policies.push(PolicyKind::PerceptronReuse);
+    let config = RunnerConfig {
+        instructions: args.instructions,
+        threads: args.threads,
+        ..Default::default()
+    };
+    let runs = run_suite(&suite, &policies, &config);
+    let grouped = group_by_benchmark(&runs, policies.len());
+
+    let mut sums = vec![0.0f64; policies.len()];
+    for group in &grouped {
+        for (i, run) in group.iter().enumerate() {
+            sums[i] += run.result.mpki();
+        }
+    }
+    let n = grouped.len() as f64;
+    let lru = sums[0] / n;
+
+    let mut table = Table::new(["policy", "mean MPKI", "reduction vs LRU", "storage B"]);
+    let mut csv = Table::new(["policy", "mean_mpki", "reduction_vs_lru", "storage_bytes"]);
+    for (i, kind) in policies.iter().enumerate() {
+        let m = sums[i] / n;
+        let storage = kind.build(config.sim.tlb.l2, 0).storage().total_bytes();
+        table.row([
+            kind.name().to_string(),
+            format!("{m:.3}"),
+            format!("{:+.2}%", (lru - m) / lru * 100.0),
+            format!("{storage}"),
+        ]);
+        csv.row([
+            kind.name().to_string(),
+            format!("{m:.6}"),
+            format!("{:.6}", (lru - m) / lru),
+            format!("{storage}"),
+        ]);
+    }
+    println!("Extension baselines vs the paper lineup ({} benchmarks)\n", grouped.len());
+    println!("{}", table.render());
+    let path = Path::new("results/ext_baselines.csv");
+    csv.write_csv(path).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,41 @@
+//! Extension: mixed 4KB/2MB page-size study (paper §VIII future work).
+//! Writes `results/ext_mixed_pages.csv`.
+
+use chirp_bench::HarnessArgs;
+use chirp_sim::experiments::ext_mixed_pages;
+use chirp_sim::report::Table;
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use std::path::Path;
+
+fn main() {
+    let mut args = HarnessArgs::from_env();
+    if args.benchmarks > 48 {
+        args.benchmarks = 48;
+        eprintln!("note: mixed-page sweep capped at 48 benchmarks");
+    }
+    let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
+    let result = ext_mixed_pages::run(&suite, args.instructions, &[0, 25, 50, 75, 100]);
+    println!("{}", ext_mixed_pages::render(&result));
+
+    let mut csv = Table::new([
+        "fragmentation_percent",
+        "lru_miss_ratio",
+        "reuse_miss_ratio",
+        "size_aware_miss_ratio",
+        "reuse_huge_evictions",
+        "size_aware_huge_evictions",
+    ]);
+    for p in &result.points {
+        csv.row([
+            format!("{}", p.fragmentation_percent),
+            format!("{:.6}", p.lru.miss_ratio()),
+            format!("{:.6}", p.reuse.miss_ratio()),
+            format!("{:.6}", p.size_aware.miss_ratio()),
+            format!("{}", p.reuse.huge_evictions),
+            format!("{}", p.size_aware.huge_evictions),
+        ]);
+    }
+    let path = Path::new("results/ext_mixed_pages.csv");
+    csv.write_csv(path).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,34 @@
+//! Extension experiment: Bélády-OPT upper bound vs LRU and CHiRP.
+//! Writes `results/ext_opt_bound.csv`.
+
+use chirp_bench::HarnessArgs;
+use chirp_sim::experiments::opt_bound;
+use chirp_sim::report::Table;
+use chirp_sim::RunnerConfig;
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use std::path::Path;
+
+fn main() {
+    let mut args = HarnessArgs::from_env();
+    // OPT replays are two-pass and memory-heavy; default to a small subset.
+    if args.benchmarks > 32 {
+        args.benchmarks = 32;
+        eprintln!("note: OPT bound capped at 32 benchmarks");
+    }
+    let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
+    let config = RunnerConfig {
+        instructions: args.instructions,
+        threads: args.threads,
+        ..Default::default()
+    };
+    let result = opt_bound::run(&suite, &config);
+    println!("{}", opt_bound::render(&result));
+
+    let mut csv = Table::new(["benchmark", "lru_mpki", "chirp_mpki", "opt_mpki"]);
+    for (name, l, c, o) in &result.rows {
+        csv.row([name.clone(), format!("{l:.4}"), format!("{c:.4}"), format!("{o:.4}")]);
+    }
+    let path = Path::new("results/ext_opt_bound.csv");
+    csv.write_csv(path).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,29 @@
+//! Extension: commit-time vs naive-speculative history ablation (§VI-E).
+//! Writes `results/ext_wrong_path.csv`.
+
+use chirp_bench::HarnessArgs;
+use chirp_sim::experiments::ext_wrong_path;
+use chirp_sim::report::Table;
+use chirp_sim::RunnerConfig;
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use std::path::Path;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
+    let config = RunnerConfig {
+        instructions: args.instructions,
+        threads: args.threads,
+        ..Default::default()
+    };
+    let result = ext_wrong_path::run(&suite, &config);
+    println!("{}", ext_wrong_path::render(&result));
+
+    let mut csv = Table::new(["pollution_events", "mean_mpki", "reduction_vs_lru"]);
+    for (p, m, r) in &result.rows {
+        csv.row([format!("{p}"), format!("{m:.6}"), format!("{r:.6}")]);
+    }
+    let path = Path::new("results/ext_wrong_path.csv");
+    csv.write_csv(path).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,35 @@
+//! Regenerates Figure 10 (average speedup vs page-walk penalty).
+//! Writes `results/fig10_penalty.csv`.
+
+use chirp_bench::HarnessArgs;
+use chirp_sim::experiments::fig10_penalty::{self, PAPER_PENALTIES};
+use chirp_sim::report::Table;
+use chirp_sim::RunnerConfig;
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use std::path::Path;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
+    let config = RunnerConfig {
+        instructions: args.instructions,
+        threads: args.threads,
+        ..Default::default()
+    };
+    let result = fig10_penalty::run(&suite, &config, &PAPER_PENALTIES);
+    println!("{}", fig10_penalty::render(&result));
+
+    let mut headers = vec!["penalty".to_string()];
+    headers.extend(result.series.iter().map(|(n, _)| n.clone()));
+    let mut csv = Table::new(headers);
+    for (i, penalty) in result.penalties.iter().enumerate() {
+        let mut row = vec![format!("{penalty}")];
+        for (_, v) in &result.series {
+            row.push(format!("{:.6}", v[i]));
+        }
+        csv.row(row);
+    }
+    let path = Path::new("results/fig10_penalty.csv");
+    csv.write_csv(path).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

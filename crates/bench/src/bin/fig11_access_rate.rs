@@ -1,0 +1,38 @@
+//! Regenerates Figure 11 (prediction-table access-rate density for SHiP,
+//! GHRP and CHiRP). Writes `results/fig11_access_rate.csv`.
+
+use chirp_bench::HarnessArgs;
+use chirp_sim::experiments::fig11_access_rate;
+use chirp_sim::report::Table;
+use chirp_sim::RunnerConfig;
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use std::path::Path;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
+    let config = RunnerConfig {
+        instructions: args.instructions,
+        threads: args.threads,
+        ..Default::default()
+    };
+    let result = fig11_access_rate::run(&suite, &config);
+    println!("{}", fig11_access_rate::render(&result));
+
+    let mut csv = Table::new(
+        ["benchmark"]
+            .into_iter()
+            .chain(result.series.iter().map(|(n, _)| n.as_str()))
+            .collect::<Vec<_>>(),
+    );
+    for (i, bench) in suite.iter().enumerate() {
+        let mut row = vec![bench.name.clone()];
+        for (_, v) in &result.series {
+            row.push(format!("{:.4}", v[i]));
+        }
+        csv.row(row);
+    }
+    let path = Path::new("results/fig11_access_rate.csv");
+    csv.write_csv(path).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

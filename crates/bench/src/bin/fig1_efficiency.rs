@@ -1,0 +1,38 @@
+//! Regenerates Figure 1 (TLB efficiency heat map).
+//! Writes `results/fig1_efficiency.csv`.
+
+use chirp_bench::HarnessArgs;
+use chirp_sim::experiments::fig1_efficiency;
+use chirp_sim::report::Table;
+use chirp_sim::RunnerConfig;
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use std::path::Path;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
+    let config = RunnerConfig {
+        instructions: args.instructions,
+        threads: args.threads,
+        ..Default::default()
+    };
+    let result = fig1_efficiency::run(&suite, &config);
+    println!("{}", fig1_efficiency::render(&result));
+
+    let mut csv = Table::new(
+        ["benchmark"]
+            .into_iter()
+            .chain(result.series.iter().map(|(n, _)| n.as_str()))
+            .collect::<Vec<_>>(),
+    );
+    for (i, bench) in result.benchmarks.iter().enumerate() {
+        let mut row = vec![bench.clone()];
+        for (_, v) in &result.series {
+            row.push(format!("{:.4}", v[i]));
+        }
+        csv.row(row);
+    }
+    let path = Path::new("results/fig1_efficiency.csv");
+    csv.write_csv(path).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

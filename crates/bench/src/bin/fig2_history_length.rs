@@ -1,0 +1,33 @@
+//! Regenerates Figure 2 (speedup vs global PC history length, with and
+//! without branch history). Writes `results/fig2_history.csv`.
+
+use chirp_bench::HarnessArgs;
+use chirp_sim::experiments::fig2_history::{self, PAPER_LENGTHS};
+use chirp_sim::report::Table;
+use chirp_sim::RunnerConfig;
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use std::path::Path;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
+    let config = RunnerConfig {
+        instructions: args.instructions,
+        threads: args.threads,
+        ..Default::default()
+    };
+    let result = fig2_history::run(&suite, &config, &PAPER_LENGTHS);
+    println!("{}", fig2_history::render(&result));
+
+    let mut csv = Table::new(["length", "pc_only", "with_branches"]);
+    for (i, len) in result.lengths.iter().enumerate() {
+        csv.row([
+            format!("{len}"),
+            format!("{:.6}", result.pc_only[i]),
+            format!("{:.6}", result.with_branches[i]),
+        ]);
+    }
+    let path = Path::new("results/fig2_history.csv");
+    csv.write_csv(path).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

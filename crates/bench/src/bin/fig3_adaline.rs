@@ -1,0 +1,33 @@
+//! Regenerates Figure 3 (ADALINE PC-bit weight heat map).
+//! Writes `results/fig3_adaline.csv`.
+
+use chirp_bench::HarnessArgs;
+use chirp_sim::experiments::fig3_adaline;
+use chirp_sim::report::Table;
+use chirp_sim::RunnerConfig;
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use std::path::Path;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
+    let config = RunnerConfig {
+        instructions: args.instructions,
+        threads: args.threads,
+        ..Default::default()
+    };
+    let result = fig3_adaline::run(&suite, &config);
+    println!("{}", fig3_adaline::render(&result));
+
+    let mut headers = vec!["benchmark".to_string(), "accuracy".to_string()];
+    headers.extend((0..fig3_adaline::PC_BITS).map(|b| format!("bit{b}")));
+    let mut csv = Table::new(headers);
+    for p in &result.profiles {
+        let mut row = vec![p.benchmark.clone(), format!("{:.4}", p.accuracy)];
+        row.extend(p.weights.iter().map(|w| format!("{w:.4}")));
+        csv.row(row);
+    }
+    let path = Path::new("results/fig3_adaline.csv");
+    csv.write_csv(path).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,29 @@
+//! Regenerates Figure 6 (feature/optimisation ablation ladder).
+//! Writes `results/fig6_ablation.csv`.
+
+use chirp_bench::HarnessArgs;
+use chirp_sim::experiments::fig6_ablation;
+use chirp_sim::report::Table;
+use chirp_sim::RunnerConfig;
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use std::path::Path;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
+    let config = RunnerConfig {
+        instructions: args.instructions,
+        threads: args.threads,
+        ..Default::default()
+    };
+    let result = fig6_ablation::run(&suite, &config);
+    println!("{}", fig6_ablation::render(&result));
+
+    let mut csv = Table::new(["variant", "reduction_vs_lru"]);
+    for (name, r) in &result.rungs {
+        csv.row([name.clone(), format!("{r:.6}")]);
+    }
+    let path = Path::new("results/fig6_ablation.csv");
+    csv.write_csv(path).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,38 @@
+//! Regenerates Figure 7 (MPKI S-curve over the suite) and the §VI-A
+//! headline averages. Writes `results/fig7_mpki.csv`.
+
+use chirp_bench::HarnessArgs;
+use chirp_sim::experiments::fig7_mpki;
+use chirp_sim::report::Table;
+use chirp_sim::RunnerConfig;
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use std::path::Path;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
+    let config = RunnerConfig {
+        instructions: args.instructions,
+        threads: args.threads,
+        ..Default::default()
+    };
+    let result = fig7_mpki::run(&suite, &config);
+    println!("{}", fig7_mpki::render(&result));
+
+    let mut csv = Table::new(
+        ["benchmark"]
+            .into_iter()
+            .chain(result.series.iter().map(|(n, _)| n.as_str()))
+            .collect::<Vec<_>>(),
+    );
+    for (i, bench) in result.benchmarks.iter().enumerate() {
+        let mut row = vec![bench.clone()];
+        for (_, v) in &result.series {
+            row.push(format!("{:.4}", v[i]));
+        }
+        csv.row(row);
+    }
+    let path = Path::new("results/fig7_mpki.csv");
+    csv.write_csv(path).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,38 @@
+//! Regenerates Figure 8 (speedup over LRU at a 150-cycle walk penalty).
+//! Writes `results/fig8_speedup.csv`.
+
+use chirp_bench::HarnessArgs;
+use chirp_sim::experiments::fig8_speedup;
+use chirp_sim::report::Table;
+use chirp_sim::RunnerConfig;
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use std::path::Path;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
+    let config = RunnerConfig {
+        instructions: args.instructions,
+        threads: args.threads,
+        ..Default::default()
+    };
+    let result = fig8_speedup::run(&suite, &config);
+    println!("{}", fig8_speedup::render(&result));
+
+    let mut csv = Table::new(
+        ["benchmark"]
+            .into_iter()
+            .chain(result.series.iter().map(|(n, _)| n.as_str()))
+            .collect::<Vec<_>>(),
+    );
+    for (i, bench) in suite.iter().enumerate() {
+        let mut row = vec![bench.name.clone()];
+        for (_, v) in &result.series {
+            row.push(format!("{:.6}", v[i]));
+        }
+        csv.row(row);
+    }
+    let path = Path::new("results/fig8_speedup.csv");
+    csv.write_csv(path).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

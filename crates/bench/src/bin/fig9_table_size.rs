@@ -1,0 +1,29 @@
+//! Regenerates Figure 9 (CHiRP MPKI improvement vs prediction-table size).
+//! Writes `results/fig9_table_size.csv`.
+
+use chirp_bench::HarnessArgs;
+use chirp_sim::experiments::fig9_table_size;
+use chirp_sim::report::Table;
+use chirp_sim::RunnerConfig;
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use std::path::Path;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
+    let config = RunnerConfig {
+        instructions: args.instructions,
+        threads: args.threads,
+        ..Default::default()
+    };
+    let result = fig9_table_size::run(&suite, &config);
+    println!("{}", fig9_table_size::render(&result));
+
+    let mut csv = Table::new(["table_bytes", "improvement_vs_lru"]);
+    for (bytes, r) in &result.points {
+        csv.row([format!("{bytes}"), format!("{r:.6}")]);
+    }
+    let path = Path::new("results/fig9_table_size.csv");
+    csv.write_csv(path).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,96 @@
+//! Runs every experiment binary's workload in sequence, printing each
+//! figure/table — the one-shot reproduction driver.
+//!
+//! `run_all --benchmarks 870 --instructions 1_000_000` regenerates the
+//! committed EXPERIMENTS.md numbers.
+
+use chirp_bench::HarnessArgs;
+use chirp_sim::experiments::{
+    fig10_penalty, fig11_access_rate, fig1_efficiency, fig2_history, fig3_adaline,
+    fig6_ablation, fig7_mpki, fig8_speedup, fig9_table_size,
+};
+use chirp_sim::{RunnerConfig, SimConfig};
+use chirp_trace::suite::{build_suite, SuiteConfig};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
+    let config = RunnerConfig {
+        instructions: args.instructions,
+        threads: args.threads,
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+
+    println!("==== Table II ====\n{}", SimConfig::default().render_table_ii());
+
+    let section = |name: &str| {
+        eprintln!("[{:>6.1}s] running {name}...", t0.elapsed().as_secs_f64());
+    };
+
+    // Figures 1, 7, 8 and 11 are different views of the same suite run.
+    section("Figures 1/7/8/11 (shared suite run)");
+    let policies = chirp_sim::PolicyKind::paper_lineup();
+    let runs = chirp_sim::run_suite(&suite, &policies, &config);
+    println!(
+        "==== Figure 7 ====\n{}",
+        fig7_mpki::render(&fig7_mpki::from_runs(&runs, policies.len()))
+    );
+    println!(
+        "==== Figure 8 ====\n{}",
+        fig8_speedup::render(&fig8_speedup::from_runs(
+            &runs,
+            policies.len(),
+            config.sim.tlb.walk_penalty
+        ))
+    );
+    println!(
+        "==== Figure 1 ====\n{}",
+        fig1_efficiency::render(&fig1_efficiency::from_runs(&runs, policies.len()))
+    );
+    println!(
+        "==== Figure 11 ====\n{}",
+        fig11_access_rate::render(&fig11_access_rate::from_runs(&runs, policies.len()))
+    );
+    drop(runs);
+    section("Figure 6");
+    println!(
+        "==== Figure 6 ====\n{}",
+        fig6_ablation::render(&fig6_ablation::run(&suite, &config))
+    );
+    section("Figure 9");
+    println!(
+        "==== Figure 9 ====\n{}",
+        fig9_table_size::render(&fig9_table_size::run(&suite, &config))
+    );
+
+    // The sweeps are the heavy ones: run them on an even ~64-benchmark
+    // sample of the suite.
+    let small: Vec<_> =
+        suite.iter().step_by((suite.len() / 64).max(1)).cloned().collect();
+    section("Figure 2 (subset)");
+    println!(
+        "==== Figure 2 (subset of {} benchmarks) ====\n{}",
+        small.len(),
+        fig2_history::render(&fig2_history::run(&small, &config, &fig2_history::PAPER_LENGTHS))
+    );
+    section("Figure 10 (subset)");
+    println!(
+        "==== Figure 10 (subset of {} benchmarks) ====\n{}",
+        small.len(),
+        fig10_penalty::render(&fig10_penalty::run(
+            &small,
+            &config,
+            &fig10_penalty::PAPER_PENALTIES
+        ))
+    );
+    section("Figure 3 (subset)");
+    let tiny: Vec<_> = suite.iter().step_by(8.max(suite.len() / 24)).cloned().collect();
+    println!(
+        "==== Figure 3 (subset of {} benchmarks) ====\n{}",
+        tiny.len(),
+        fig3_adaline::render(&fig3_adaline::run(&tiny, &config))
+    );
+
+    eprintln!("[{:>6.1}s] done", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table II (simulation parameters) from the live defaults —
+//! the configuration every experiment binary uses unless overridden.
+
+use chirp_sim::SimConfig;
+
+fn main() {
+    println!("Table II: simulation parameters\n");
+    println!("{}", SimConfig::default().render_table_ii());
+}

@@ -1,0 +1,79 @@
+//! Trace utility: generate suite benchmarks to disk in the compact binary
+//! format, inspect saved traces, and print statistics.
+//!
+//! ```text
+//! trace_tool list [N]                 list the first N suite benchmarks
+//! trace_tool gen <index> <len> <out>  generate suite benchmark #index
+//! trace_tool stats <file>             decode a trace and print statistics
+//! trace_tool head <file> [N]          print the first N records
+//! ```
+
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use chirp_trace::{read_trace, write_trace, TraceStats};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  trace_tool list [N]\n  trace_tool gen <index> <len> <out.chrp>\n  \
+         trace_tool stats <file.chrp>\n  trace_tool head <file.chrp> [N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+            let suite = build_suite(&SuiteConfig { benchmarks: n });
+            for (i, b) in suite.iter().enumerate() {
+                println!("{i:>4}  {:<10} {}", b.category.label(), b.name);
+            }
+        }
+        Some("gen") => {
+            let (Some(idx), Some(len), Some(out)) = (args.get(1), args.get(2), args.get(3))
+            else {
+                usage()
+            };
+            let idx: usize = idx.parse().unwrap_or_else(|_| usage());
+            let len: usize = len.replace('_', "").parse().unwrap_or_else(|_| usage());
+            let suite = build_suite(&SuiteConfig { benchmarks: idx + 1 });
+            let bench = suite.last().expect("non-empty suite");
+            let trace = bench.generate(len);
+            let bytes = write_trace(&trace);
+            std::fs::write(out, &bytes).expect("write trace file");
+            println!(
+                "wrote {} ({} records, {} bytes, {:.2} bits/record)",
+                out,
+                trace.len(),
+                bytes.len(),
+                bytes.len() as f64 * 8.0 / trace.len() as f64
+            );
+        }
+        Some("stats") => {
+            let Some(file) = args.get(1) else { usage() };
+            let bytes = std::fs::read(file).expect("read trace file");
+            let trace = read_trace(&bytes).expect("decode trace");
+            let s = TraceStats::from_trace(&trace);
+            println!("instructions   {}", s.instructions);
+            println!("loads          {}", s.loads);
+            println!("stores         {}", s.stores);
+            println!("cond branches  {} ({} taken)", s.cond_branches, s.cond_taken);
+            println!("uncond ctrl    {}", s.uncond_branches);
+            println!("code pages     {}", s.code_pages);
+            println!("data pages     {}", s.data_pages);
+            println!("data footprint {:.2} MB", s.data_footprint_bytes() as f64 / (1 << 20) as f64);
+            println!("memory ratio   {:.1}%", s.memory_ratio() * 100.0);
+            println!("branch ratio   {:.1}%", s.branch_ratio() * 100.0);
+        }
+        Some("head") => {
+            let Some(file) = args.get(1) else { usage() };
+            let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
+            let bytes = std::fs::read(file).expect("read trace file");
+            let trace = read_trace(&bytes).expect("decode trace");
+            for r in trace.iter().take(n) {
+                println!("{r:x?}");
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,120 @@
+//! Minimal command-line parsing shared by every harness binary.
+//!
+//! All binaries accept the same flags:
+//!
+//! ```text
+//! --benchmarks N      number of suite benchmarks (default 96)
+//! --instructions M    instructions simulated per benchmark (default 1_000_000)
+//! --threads T         worker threads (default: available parallelism)
+//! --full              shorthand for the paper-scale run (870 benchmarks)
+//! ```
+
+/// Parsed harness arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// Number of benchmarks sampled from the suite.
+    pub benchmarks: usize,
+    /// Instructions simulated per benchmark.
+    pub instructions: usize,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            benchmarks: 96,
+            instructions: 1_000_000,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`-style arguments; unknown flags are errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed flags or values.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = HarnessArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--benchmarks" => out.benchmarks = next_num(&mut it, &arg)?,
+                "--instructions" => out.instructions = next_num(&mut it, &arg)?,
+                "--threads" => out.threads = next_num(&mut it, &arg)?,
+                "--full" => {
+                    out.benchmarks = 870;
+                    out.instructions = 10_000_000;
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: [--benchmarks N] [--instructions M] [--threads T] [--full]"
+                            .to_string(),
+                    )
+                }
+                other => return Err(format!("unknown flag: {other}")),
+            }
+        }
+        if out.benchmarks == 0 || out.instructions == 0 || out.threads == 0 {
+            return Err("flag values must be positive".to_string());
+        }
+        Ok(out)
+    }
+
+    /// Parses the current process arguments, exiting with the usage string
+    /// on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn next_num<I: Iterator<Item = String>>(it: &mut I, flag: &str) -> Result<usize, String> {
+    let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    v.replace('_', "").parse().map_err(|_| format!("{flag}: invalid number {v}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<HarnessArgs, String> {
+        HarnessArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_empty() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.benchmarks, 96);
+        assert_eq!(a.instructions, 1_000_000);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = parse(&["--benchmarks", "10", "--instructions", "5_000", "--threads", "2"])
+            .unwrap();
+        assert_eq!(a, HarnessArgs { benchmarks: 10, instructions: 5_000, threads: 2 });
+    }
+
+    #[test]
+    fn full_sets_paper_scale() {
+        let a = parse(&["--full"]).unwrap();
+        assert_eq!(a.benchmarks, 870);
+        assert_eq!(a.instructions, 10_000_000);
+    }
+
+    #[test]
+    fn rejects_unknown_and_zero() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--benchmarks"]).is_err());
+        assert!(parse(&["--benchmarks", "abc"]).is_err());
+    }
+}

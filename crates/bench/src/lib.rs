@@ -1,0 +1,6 @@
+//! Shared helpers for the CHiRP benchmark harness binaries and Criterion
+//! benches. See the `fig*`/`table*` binaries in `src/bin/`.
+
+pub mod cli;
+
+pub use cli::HarnessArgs;

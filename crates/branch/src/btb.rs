@@ -1,0 +1,127 @@
+//! Branch target buffer: a set-associative cache of branch targets.
+
+use chirp_mem::LruStack;
+
+#[derive(Debug, Clone)]
+struct BtbSet {
+    tags: Vec<u64>,
+    targets: Vec<u64>,
+    valid: Vec<bool>,
+    lru: LruStack,
+}
+
+impl BtbSet {
+    fn new(ways: usize) -> Self {
+        BtbSet {
+            tags: vec![0; ways],
+            targets: vec![0; ways],
+            valid: vec![false; ways],
+            lru: LruStack::new(ways),
+        }
+    }
+}
+
+/// A set-associative BTB (paper Table II: 4K entries).
+#[derive(Debug, Clone)]
+pub struct Btb {
+    sets: Vec<BtbSet>,
+    set_mask: u64,
+}
+
+impl Default for Btb {
+    fn default() -> Self {
+        Self::new(4096, 8)
+    }
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` total entries and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power-of-two multiple of `ways`.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && entries.is_multiple_of(ways), "entries must divide into ways");
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Btb { sets: (0..sets).map(|_| BtbSet::new(ways)).collect(), set_mask: sets as u64 - 1 }
+    }
+
+    #[inline]
+    fn set_and_tag(&self, pc: u64) -> (usize, u64) {
+        let idx = (pc >> 2) & self.set_mask;
+        let tag = (pc >> 2) >> self.set_mask.count_ones();
+        (idx as usize, tag)
+    }
+
+    /// Looks up the predicted target for the branch at `pc`.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        let (set_idx, tag) = self.set_and_tag(pc);
+        let set = &mut self.sets[set_idx];
+        for way in 0..set.tags.len() {
+            if set.valid[way] && set.tags[way] == tag {
+                set.lru.touch(way);
+                return Some(set.targets[way]);
+            }
+        }
+        None
+    }
+
+    /// Installs or updates the target for the branch at `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let (set_idx, tag) = self.set_and_tag(pc);
+        let set = &mut self.sets[set_idx];
+        for way in 0..set.tags.len() {
+            if set.valid[way] && set.tags[way] == tag {
+                set.targets[way] = target;
+                set.lru.touch(way);
+                return;
+            }
+        }
+        let victim =
+            (0..set.tags.len()).find(|&w| !set.valid[w]).unwrap_or_else(|| set.lru.lru());
+        set.tags[victim] = tag;
+        set.targets[victim] = target;
+        set.valid[victim] = true;
+        set.lru.touch(victim);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut btb = Btb::new(64, 4);
+        assert_eq!(btb.lookup(0x400000), None);
+        btb.update(0x400000, 0x500000);
+        assert_eq!(btb.lookup(0x400000), Some(0x500000));
+    }
+
+    #[test]
+    fn update_replaces_target() {
+        let mut btb = Btb::new(64, 4);
+        btb.update(0x400000, 0x500000);
+        btb.update(0x400000, 0x600000);
+        assert_eq!(btb.lookup(0x400000), Some(0x600000));
+    }
+
+    #[test]
+    fn capacity_eviction() {
+        let mut btb = Btb::new(8, 2); // 4 sets x 2 ways
+        // Fill set 0 (pcs whose (pc>>2) % 4 == 0) with 3 branches.
+        btb.update(0x00, 1);
+        btb.update(0x10, 2);
+        btb.update(0x20, 3); // evicts 0x00 (LRU)
+        assert_eq!(btb.lookup(0x00), None);
+        assert_eq!(btb.lookup(0x10), Some(2));
+        assert_eq!(btb.lookup(0x20), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _ = Btb::new(24, 8);
+    }
+}

@@ -1,0 +1,98 @@
+//! Indirect-target predictor: a tagged target cache indexed by the branch
+//! PC hashed with recent path history (a compact ITTAGE-flavoured design).
+
+/// Path-hashed indirect branch target predictor.
+#[derive(Debug, Clone)]
+pub struct IndirectPredictor {
+    tags: Vec<u16>,
+    targets: Vec<u64>,
+    valid: Vec<bool>,
+    index_mask: u64,
+    path: u64,
+}
+
+impl Default for IndirectPredictor {
+    fn default() -> Self {
+        Self::new(12)
+    }
+}
+
+impl IndirectPredictor {
+    /// Creates a predictor with `2^index_bits` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or exceeds 24.
+    pub fn new(index_bits: u32) -> Self {
+        assert!((1..=24).contains(&index_bits), "index_bits out of range");
+        let n = 1usize << index_bits;
+        IndirectPredictor {
+            tags: vec![0; n],
+            targets: vec![0; n],
+            valid: vec![false; n],
+            index_mask: (n as u64) - 1,
+            path: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, pc: u64) -> (usize, u16) {
+        let h = (pc >> 2) ^ self.path.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h & self.index_mask) as usize, ((h >> 20) & 0xffff) as u16)
+    }
+
+    /// Predicts the target of the indirect branch at `pc`.
+    pub fn predict(&self, pc: u64) -> Option<u64> {
+        let (idx, tag) = self.slot(pc);
+        (self.valid[idx] && self.tags[idx] == tag).then(|| self.targets[idx])
+    }
+
+    /// Records the resolved `target` and folds it into the path history.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let (idx, tag) = self.slot(pc);
+        self.tags[idx] = tag;
+        self.targets[idx] = target;
+        self.valid[idx] = true;
+        self.path = (self.path << 4) ^ (target >> 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_stable_target_in_a_periodic_context() {
+        let mut p = IndirectPredictor::default();
+        assert_eq!(p.predict(0x400000), None);
+        // A loop repeatedly dispatches 0x400000 -> 0x500000; the path
+        // history becomes periodic after its 16-event window fills, so the
+        // slot probed before each update has been trained.
+        let mut correct = 0;
+        for i in 0..200 {
+            if i >= 100 && p.predict(0x400000) == Some(0x500000) {
+                correct += 1;
+            }
+            p.update(0x400000, 0x500000);
+        }
+        assert!(correct >= 95, "stable indirect target must be learned, got {correct}/100");
+    }
+
+    #[test]
+    fn distinguishes_targets_by_path() {
+        let mut p = IndirectPredictor::default();
+        // Context A: path built from target 0xA; context B from 0xB000.
+        // Train: in context A, branch goes to 0x1000; in B, to 0x2000.
+        for _ in 0..4 {
+            p.update(0x100, 0xA000); // context-setting branch
+            p.update(0x200, 0x1000);
+            p.update(0x100, 0xB000);
+            p.update(0x200, 0x2000);
+        }
+        p.update(0x100, 0xA000);
+        assert_eq!(p.predict(0x200), Some(0x1000));
+        p.update(0x200, 0x1000);
+        p.update(0x100, 0xB000);
+        assert_eq!(p.predict(0x200), Some(0x2000));
+    }
+}

@@ -1,0 +1,32 @@
+//! Branch prediction unit for the CHiRP reproduction.
+//!
+//! Implements the front-end of the paper's Table II configuration: a hashed
+//! perceptron conditional direction predictor (Tarjan & Skadron style), a
+//! 4K-entry BTB, a path-hashed indirect-target predictor and a return
+//! address stack, assembled behind [`BranchUnit`] which charges the 20-cycle
+//! misprediction penalty.
+//!
+//! ```
+//! use chirp_branch::{BranchConfig, BranchUnit};
+//! use chirp_trace::TraceRecord;
+//!
+//! let mut bu = BranchUnit::new(BranchConfig::default());
+//! // A strongly biased loop branch becomes predictable after warmup.
+//! for _ in 0..64 {
+//!     bu.observe(&TraceRecord::cond_branch(0x400100, 0x400000, true));
+//! }
+//! let stats = bu.stats();
+//! assert!(stats.correct > stats.mispredicted);
+//! ```
+
+pub mod btb;
+pub mod indirect;
+pub mod perceptron;
+pub mod ras;
+pub mod unit;
+
+pub use btb::Btb;
+pub use indirect::IndirectPredictor;
+pub use perceptron::HashedPerceptron;
+pub use ras::ReturnAddressStack;
+pub use unit::{BranchConfig, BranchStats, BranchUnit};

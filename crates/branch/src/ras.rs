@@ -1,0 +1,72 @@
+//! Return address stack.
+
+/// A bounded return-address stack; pushes wrap by discarding the oldest
+/// entry (as hardware RAS overwrite behaviour does).
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    stack: Vec<u64>,
+    capacity: usize,
+}
+
+impl Default for ReturnAddressStack {
+    fn default() -> Self {
+        Self::new(32)
+    }
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS holding up to `capacity` return addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RAS capacity must be positive");
+        ReturnAddressStack { stack: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Pushes the return address of a call.
+    pub fn push(&mut self, return_address: u64) {
+        if self.stack.len() == self.capacity {
+            self.stack.remove(0);
+        }
+        self.stack.push(return_address);
+    }
+
+    /// Pops the predicted return target, if any.
+    pub fn pop(&mut self) -> Option<u64> {
+        self.stack.pop()
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(1);
+        ras.push(2);
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), Some(1));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn overflow_discards_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3);
+        assert_eq!(ras.depth(), 2);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None);
+    }
+}

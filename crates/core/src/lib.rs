@@ -1,0 +1,51 @@
+//! Control-flow History Reuse Prediction (CHiRP) — the paper's primary
+//! contribution (MICRO 2020, §IV).
+//!
+//! CHiRP is a predictive replacement policy for the unified L2 TLB. Every
+//! TLB entry is tagged with a 16-bit *signature* combining four features
+//! that correlate with TLB reuse:
+//!
+//! 1. the **global path history** of PCs that accessed the L2 TLB — two
+//!    low-order PC bits (bits 3:2) per access, each followed by two
+//!    injected zero bits (the shift-and-scale transform of §III-B);
+//! 2. the **conditional-branch history** — PC bits \[11:4\] of the last 8
+//!    conditional branches;
+//! 3. the **unconditional-indirect-branch history** — PC bits \[11:4\] of
+//!    the last 8 indirect branches;
+//! 4. the current access's **PC shifted right by two**.
+//!
+//! A single table of 2-bit saturating counters, indexed by a hash of the
+//! signature, predicts whether an entry is *dead*. Victim selection prefers
+//! dead-predicted entries and falls back to LRU; the table is trained only
+//! on LRU-fallback evictions (increment: the entry proved dead) and on the
+//! first qualifying hit to an entry (decrement: it proved live), with hit
+//! updates further gated by *selective hit update* — only hits to a set
+//! different from the last-accessed one train, which dissipates the
+//! counter-saturation noise of coarse-grained TLB accesses (Observation 2).
+//!
+//! ```
+//! use chirp_core::{Chirp, ChirpConfig};
+//! use chirp_tlb::{L2Tlb, TlbGeometry, TranslationKind};
+//!
+//! let geom = TlbGeometry::default();
+//! let policy = Chirp::new(geom, ChirpConfig::default());
+//! let mut tlb = L2Tlb::new(geom, Box::new(policy));
+//! tlb.access(0x400000, 0x9000, TranslationKind::Data);
+//! assert_eq!(tlb.policy().name(), "chirp");
+//! ```
+
+pub mod config;
+pub mod history;
+pub mod policy;
+pub mod signature;
+pub mod storage;
+pub mod table;
+pub mod variants;
+
+pub use config::ChirpConfig;
+pub use history::HistoryRegister;
+pub use policy::Chirp;
+pub use signature::SignatureBuilder;
+pub use storage::{storage_report, StorageReport};
+pub use table::PredictionTable;
+pub use variants::ChirpVariant;

@@ -1,0 +1,130 @@
+//! ADALINE: a single linear unit trained with the Widrow-Hoff (LMS) rule,
+//! plus L1 regularisation to drive uninformative weights to zero (the
+//! paper's §III-A methodology for scoring PC bits).
+
+/// Adaptive linear element with L1 weight decay.
+#[derive(Debug, Clone)]
+pub struct Adaline {
+    weights: Vec<f64>,
+    bias: f64,
+    learning_rate: f64,
+    l1: f64,
+}
+
+impl Adaline {
+    /// Creates a unit over `inputs` features with learning rate `mu` and L1
+    /// penalty `l1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs == 0`, or if `mu`/`l1` are not finite and
+    /// non-negative.
+    pub fn new(inputs: usize, mu: f64, l1: f64) -> Self {
+        assert!(inputs > 0, "ADALINE needs at least one input");
+        assert!(mu.is_finite() && mu > 0.0, "learning rate must be positive");
+        assert!(l1.is_finite() && l1 >= 0.0, "L1 penalty must be non-negative");
+        Adaline { weights: vec![0.0; inputs], bias: 0.0, learning_rate: mu, l1 }
+    }
+
+    /// The linear output `w·x + θ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not match the input dimension.
+    pub fn output(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature dimension mismatch");
+        self.weights.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.bias
+    }
+
+    /// Classifies `x` into `true`/`false` by the sign of the output.
+    pub fn classify(&self, x: &[f64]) -> bool {
+        self.output(x) >= 0.0
+    }
+
+    /// One LMS update towards `target` (use ±1 targets for classification):
+    /// `w ← w + μ (d − y) x`, then an L1 shrink towards zero.
+    pub fn train(&mut self, x: &[f64], target: f64) {
+        let y = self.output(x);
+        let err = target - y;
+        for (w, xi) in self.weights.iter_mut().zip(x) {
+            *w += self.learning_rate * err * xi;
+            // L1: soft-threshold towards zero.
+            if *w > self.l1 {
+                *w -= self.l1;
+            } else if *w < -self.l1 {
+                *w += self.l1;
+            } else {
+                *w = 0.0;
+            }
+        }
+        self.bias += self.learning_rate * err;
+    }
+
+    /// The learned weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The learned bias θ.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_linearly_separable_rule() {
+        let mut a = Adaline::new(2, 0.05, 0.0);
+        // Rule: class = sign(x0).
+        let data = [([1.0, 1.0], 1.0), ([1.0, -1.0], 1.0), ([-1.0, 1.0], -1.0), ([-1.0, -1.0], -1.0)];
+        for _ in 0..200 {
+            for (x, d) in &data {
+                a.train(x, *d);
+            }
+        }
+        for (x, d) in &data {
+            assert_eq!(a.classify(x), *d > 0.0);
+        }
+        assert!(a.weights()[0].abs() > a.weights()[1].abs());
+    }
+
+    #[test]
+    fn l1_drives_irrelevant_weights_to_zero() {
+        let mut a = Adaline::new(3, 0.05, 0.002);
+        let mut x2 = 1.0;
+        for i in 0..2000 {
+            x2 = -x2; // feature 2 alternates, uncorrelated with the target
+            let x0 = if i % 3 == 0 { 1.0 } else { -1.0 };
+            let x = [x0, 1.0, x2];
+            a.train(&x, x0);
+        }
+        assert!(a.weights()[0] > 0.2, "informative weight survives: {:?}", a.weights());
+        assert!(
+            a.weights()[2].abs() < 0.05,
+            "uninformative weight shrinks: {:?}",
+            a.weights()
+        );
+    }
+
+    #[test]
+    fn correct_confident_predictions_change_little() {
+        // LMS error is small once y ≈ d, so updates vanish.
+        let mut a = Adaline::new(1, 0.2, 0.0);
+        for _ in 0..500 {
+            a.train(&[1.0], 1.0);
+        }
+        let w_before = a.weights()[0];
+        a.train(&[1.0], 1.0);
+        assert!((a.weights()[0] - w_before).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let a = Adaline::new(2, 0.1, 0.0);
+        let _ = a.output(&[1.0]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Feature extraction: PC bits as ±1 inputs for the ADALINE study.
+
+/// Expands the low `bits` bits of `pc` into a ±1 feature vector
+/// (`x[i] = +1` if bit `i` of the PC is set, else `-1`), matching the
+/// paper's Figure 3 x-axis where each input node is one PC bit.
+pub fn pc_bit_features(pc: u64, bits: usize) -> Vec<f64> {
+    (0..bits).map(|i| if pc >> i & 1 == 1 { 1.0 } else { -1.0 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_bits_as_plus_minus_one() {
+        let x = pc_bit_features(0b1010, 4);
+        assert_eq!(x, vec![-1.0, 1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn length_matches_request() {
+        assert_eq!(pc_bit_features(u64::MAX, 32).len(), 32);
+        assert!(pc_bit_features(u64::MAX, 32).iter().all(|&v| v == 1.0));
+    }
+}

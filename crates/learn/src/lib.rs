@@ -1,0 +1,31 @@
+//! Offline learning tools for the CHiRP reproduction.
+//!
+//! The paper uses an ADALINE (ADAptive LINear Element, Widrow & Hoff 1960)
+//! trained offline on TLB reuse outcomes to discover which PC bits carry
+//! predictive weight (§II-D, §III-A, Figure 3): with L1 regularisation,
+//! weights of uninformative bits shrink towards zero, and the surviving
+//! high-magnitude weights land on PC bits 2 and 3 — the bits CHiRP folds
+//! into its path history.
+//!
+//! ```
+//! use chirp_learn::{Adaline, pc_bit_features};
+//!
+//! let mut model = Adaline::new(16, 0.05, 0.001);
+//! // Teach it: bit 2 of the PC decides reuse.
+//! for step in 0..500 {
+//!     let pc = (step % 16) as u64 * 4;
+//!     let reused = pc & 0b100 != 0;
+//!     let x = pc_bit_features(pc, 16);
+//!     model.train(&x, if reused { 1.0 } else { -1.0 });
+//! }
+//! let w = model.weights();
+//! assert!(w[2].abs() > w[7].abs());
+//! ```
+
+pub mod adaline;
+pub mod features;
+pub mod trainer;
+
+pub use adaline::Adaline;
+pub use features::pc_bit_features;
+pub use trainer::{train_on_events, ReuseEvent, WeightProfile};

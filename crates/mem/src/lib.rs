@@ -1,0 +1,27 @@
+//! Cache hierarchy and DRAM latency model for the CHiRP reproduction.
+//!
+//! Implements the memory side of the paper's Table II configuration:
+//! 64 KB 8-way L1 instruction and data caches (4-cycle), a 256 KB 16-way
+//! unified L2 (12-cycle), an 8 MB 16-way unified L3 (42-cycle) and a flat
+//! 240-cycle DRAM. The model is latency-approximate: each access returns the
+//! cycle cost determined by the first level that hits, and lines are filled
+//! inclusively on the way back down.
+//!
+//! ```
+//! use chirp_mem::{HierarchyConfig, MemoryHierarchy};
+//!
+//! let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+//! let cold = mem.load(0x1000);
+//! let warm = mem.load(0x1000);
+//! assert!(cold > warm, "second access must hit closer to the core");
+//! ```
+
+pub mod cache;
+pub mod hierarchy;
+pub mod lru;
+pub mod stats;
+
+pub use cache::{Cache, CacheConfig};
+pub use hierarchy::{HierarchyConfig, MemoryHierarchy};
+pub use lru::LruStack;
+pub use stats::CacheStats;

@@ -1,0 +1,201 @@
+//! The trace-driven, timing-approximate simulator core.
+//!
+//! For each instruction the engine charges one base cycle plus the
+//! first-order penalties of the paper's model (§V): instruction and data
+//! address translation through the TLB hierarchy (L2 hit latency and page
+//! walks), cache-hierarchy latency beyond an L1 hit, and the branch-unit
+//! misprediction penalty. Retired branches are forwarded to the L2 TLB
+//! policy so history-based policies (GHRP, CHiRP) can maintain their
+//! registers — mirroring commit-time history updates (§VI-E).
+
+use crate::config::SimConfig;
+use crate::metrics::RunResult;
+use chirp_branch::BranchUnit;
+use chirp_mem::MemoryHierarchy;
+use chirp_tlb::{TlbHierarchy, TlbReplacementPolicy, TlbStats, TranslationKind};
+use chirp_trace::{vpn, InstrKind, TraceRecord};
+
+/// The assembled machine model.
+pub struct Simulator {
+    mem: MemoryHierarchy,
+    branch: BranchUnit,
+    tlbs: TlbHierarchy,
+    cycles: u64,
+    instructions: u64,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("cycles", &self.cycles)
+            .field("instructions", &self.instructions)
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Builds a simulator with the given L2 TLB replacement policy.
+    pub fn new(config: &SimConfig, l2_policy: Box<dyn TlbReplacementPolicy>) -> Self {
+        Simulator {
+            mem: MemoryHierarchy::new(config.mem),
+            branch: BranchUnit::new(config.branch),
+            tlbs: TlbHierarchy::new(config.tlb, l2_policy),
+            cycles: 0,
+            instructions: 0,
+        }
+    }
+
+    /// Executes one instruction, accumulating cycles.
+    pub fn step(&mut self, rec: &TraceRecord) {
+        self.instructions += 1;
+        let mut cycles = 1u64;
+
+        // Instruction side: translate the fetch PC, then fetch.
+        cycles += self.tlbs.translate(rec.pc, vpn(rec.pc), TranslationKind::Instruction).cycles;
+        let fetch_latency = self.mem.fetch(rec.pc);
+        cycles += self.cache_penalty(fetch_latency);
+
+        // Data side.
+        if rec.kind.is_memory() {
+            let ea = rec.effective_address;
+            cycles += self.tlbs.translate(rec.pc, vpn(ea), TranslationKind::Data).cycles;
+            let lat = match rec.kind {
+                InstrKind::Load => self.mem.load(ea),
+                InstrKind::Store => self.mem.store(ea),
+                _ => unreachable!("is_memory() covers loads and stores only"),
+            };
+            cycles += self.cache_penalty(lat);
+        }
+
+        // Control flow: predict, train, and charge mispredictions.
+        let penalty = self.branch.observe(rec);
+        cycles += penalty;
+        if penalty > 0 {
+            self.tlbs.on_mispredict(rec.pc);
+        }
+        if let Some(class) = rec.kind.branch_class() {
+            self.tlbs.on_branch(rec.pc, class, rec.taken);
+        }
+
+        self.cycles += cycles;
+    }
+
+    /// Latency beyond an L1 hit — an L1 hit is covered by the pipeline.
+    #[inline]
+    fn cache_penalty(&self, latency: u64) -> u64 {
+        latency.saturating_sub(4)
+    }
+
+    /// Runs the whole trace, warming on the first `warmup_fraction` and
+    /// measuring the rest.
+    pub fn run(&mut self, trace: &[TraceRecord], warmup_fraction: f64) -> RunResult {
+        let warmup = ((trace.len() as f64) * warmup_fraction.clamp(0.0, 1.0)) as usize;
+        for rec in &trace[..warmup.min(trace.len())] {
+            self.step(rec);
+        }
+        let cycles0 = self.cycles;
+        let instructions0 = self.instructions;
+        let stats0 = self.tlbs.l2().stats();
+        for rec in &trace[warmup.min(trace.len())..] {
+            self.step(rec);
+        }
+        let stats1 = self.tlbs.l2().stats();
+        let measured = TlbStats {
+            hits: stats1.hits - stats0.hits,
+            misses: stats1.misses - stats0.misses,
+            dead_evictions: stats1.dead_evictions - stats0.dead_evictions,
+            cold_fills: stats1.cold_fills - stats0.cold_fills,
+        };
+        RunResult {
+            policy: self.tlbs.l2().policy().name().to_string(),
+            instructions: self.instructions - instructions0,
+            cycles: self.cycles - cycles0,
+            l2_tlb: measured,
+            l2_accesses: measured.accesses(),
+            prediction_table_accesses: self.tlbs.l2().policy().prediction_table_accesses(),
+            l2_accesses_total: stats1.accesses(),
+            efficiency: self.tlbs.l2().efficiency(),
+        }
+    }
+
+    /// Total cycles so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total instructions so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// The TLB hierarchy (for experiment-specific inspection).
+    pub fn tlbs(&self) -> &TlbHierarchy {
+        &self.tlbs
+    }
+
+    /// Branch unit statistics.
+    pub fn branch_stats(&self) -> chirp_branch::BranchStats {
+        self.branch.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::PolicyKind;
+    use chirp_trace::gen::{ContextCopy, SpecLoops, WorkloadGen};
+
+    fn run(policy: PolicyKind, trace: &[TraceRecord]) -> RunResult {
+        let config = SimConfig::default();
+        let mut sim = Simulator::new(&config, policy.build(config.tlb.l2, 0));
+        sim.run(trace, 0.5)
+    }
+
+    #[test]
+    fn cycles_advance_and_ipc_is_sane() {
+        let trace = SpecLoops::default().generate(50_000, 0);
+        let r = run(PolicyKind::Lru, &trace);
+        assert_eq!(r.instructions, 25_000);
+        // This workload is deliberately memory-bound (cyclic 2048-page
+        // footprint), so IPC is low but must stay within physical bounds.
+        let ipc = r.ipc();
+        assert!(ipc > 0.001 && ipc <= 1.0, "IPC {ipc} out of plausible range");
+    }
+
+    #[test]
+    fn small_footprint_has_near_zero_mpki() {
+        let g = SpecLoops { arrays: 1, pages_per_array: 16, ..Default::default() };
+        let trace = g.generate(100_000, 0);
+        let r = run(PolicyKind::Lru, &trace);
+        assert!(r.mpki() < 0.5, "tiny working set must fit: MPKI {}", r.mpki());
+    }
+
+    #[test]
+    fn thrashing_footprint_has_high_mpki() {
+        let g = SpecLoops { arrays: 4, pages_per_array: 1024, ..Default::default() };
+        let trace = g.generate(200_000, 0);
+        let r = run(PolicyKind::Lru, &trace);
+        assert!(r.mpki() > 1.0, "4096 cyclic pages must thrash LRU: MPKI {}", r.mpki());
+    }
+
+    #[test]
+    fn determinism() {
+        let trace = ContextCopy::default().generate(30_000, 3);
+        let a = run(PolicyKind::Lru, &trace);
+        let b = run(PolicyKind::Lru, &trace);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn walk_penalty_scales_cycles() {
+        let g = SpecLoops { arrays: 4, pages_per_array: 1024, ..Default::default() };
+        let trace = g.generate(100_000, 0);
+        let slow_cfg = SimConfig::default().with_walk_penalty(340);
+        let fast_cfg = SimConfig::default().with_walk_penalty(20);
+        let mut slow = Simulator::new(&slow_cfg, PolicyKind::Lru.build(slow_cfg.tlb.l2, 0));
+        let mut fast = Simulator::new(&fast_cfg, PolicyKind::Lru.build(fast_cfg.tlb.l2, 0));
+        let rs = slow.run(&trace, 0.5);
+        let rf = fast.run(&trace, 0.5);
+        assert!(rs.cycles > rf.cycles, "larger walk penalty must cost cycles");
+    }
+}

@@ -1,0 +1,172 @@
+//! Extension experiment: Bélády-optimal upper bound.
+//!
+//! The paper cites Bélády's algorithm as the unreachable ideal for pure
+//! replacement (§V). Because the L1 TLBs are fixed-LRU, the L2 access
+//! stream is policy-independent, so a first pass records it and a second
+//! pass replays it under the offline-optimal policy. The gap between
+//! CHiRP and OPT quantifies how much headroom remains.
+
+use crate::config::SimConfig;
+use crate::engine::Simulator;
+use crate::metrics::mean;
+use crate::registry::PolicyKind;
+use crate::report::Table;
+use crate::runner::RunnerConfig;
+use chirp_mem::LruStack;
+use chirp_tlb::policies::{OptOracle, OptPolicy};
+use chirp_tlb::{PolicyStorage, TlbAccess, TlbGeometry, TlbReplacementPolicy};
+use chirp_trace::suite::BenchmarkSpec;
+use serde::{Deserialize, Serialize};
+
+/// LRU replacement that also records the L2 access stream (VPN order).
+pub struct StreamRecorder {
+    lru: Vec<LruStack>,
+    stream: Vec<u64>,
+}
+
+impl StreamRecorder {
+    /// Creates the recorder for `geometry`.
+    pub fn new(geometry: TlbGeometry) -> Self {
+        StreamRecorder {
+            lru: (0..geometry.sets()).map(|_| LruStack::new(geometry.ways)).collect(),
+            stream: Vec::new(),
+        }
+    }
+
+    /// The recorded VPN access stream.
+    pub fn stream(&self) -> &[u64] {
+        &self.stream
+    }
+}
+
+impl TlbReplacementPolicy for StreamRecorder {
+    fn name(&self) -> &str {
+        "lru-stream-recorder"
+    }
+
+    fn choose_victim(&mut self, acc: &TlbAccess) -> usize {
+        self.lru[acc.set].lru()
+    }
+
+    fn on_hit(&mut self, acc: &TlbAccess, way: usize) {
+        self.stream.push(acc.vpn);
+        self.lru[acc.set].touch(way);
+    }
+
+    fn on_fill(&mut self, acc: &TlbAccess, way: usize) {
+        self.stream.push(acc.vpn);
+        self.lru[acc.set].touch(way);
+    }
+
+    fn storage(&self) -> PolicyStorage {
+        PolicyStorage::default()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// The OPT-bound result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptBoundResult {
+    /// Per-benchmark (name, LRU MPKI, CHiRP MPKI, OPT MPKI).
+    pub rows: Vec<(String, f64, f64, f64)>,
+    /// Mean MPKI (LRU, CHiRP, OPT).
+    pub means: (f64, f64, f64),
+    /// Fraction of the LRU→OPT gap that CHiRP closes, averaged over
+    /// benchmarks with a non-trivial gap.
+    pub gap_closed: f64,
+}
+
+/// Runs the OPT-bound comparison (two passes per benchmark).
+pub fn run(suite: &[BenchmarkSpec], config: &RunnerConfig) -> OptBoundResult {
+    let sim_cfg: SimConfig = config.sim;
+    let mut rows = Vec::with_capacity(suite.len());
+    let mut gaps = Vec::new();
+    for bench in suite {
+        let trace = bench.generate(config.instructions);
+        // Pass 1: LRU + stream recording.
+        let mut sim = Simulator::new(&sim_cfg, Box::new(StreamRecorder::new(sim_cfg.tlb.l2)));
+        let lru = sim.run(&trace, sim_cfg.warmup_fraction);
+        let stream: Vec<u64> = sim
+            .tlbs()
+            .l2()
+            .policy()
+            .as_any()
+            .and_then(|a| a.downcast_ref::<StreamRecorder>())
+            .expect("stream recorder")
+            .stream()
+            .to_vec();
+        // Pass 2: Bélády OPT driven by the recorded stream.
+        let oracle = OptOracle::from_vpns(stream);
+        let mut sim = Simulator::new(&sim_cfg, Box::new(OptPolicy::new(sim_cfg.tlb.l2, oracle)));
+        let opt = sim.run(&trace, sim_cfg.warmup_fraction);
+        // CHiRP for the same trace.
+        let mut sim = Simulator::new(
+            &sim_cfg,
+            PolicyKind::Chirp(chirp_core::ChirpConfig::default()).build(sim_cfg.tlb.l2, bench.seed),
+        );
+        let chirp = sim.run(&trace, sim_cfg.warmup_fraction);
+
+        let (l, c, o) = (lru.mpki(), chirp.mpki(), opt.mpki());
+        if l - o > 0.05 {
+            gaps.push(((l - c) / (l - o)).clamp(-1.0, 1.5));
+        }
+        rows.push((bench.name.clone(), l, c, o));
+    }
+    let means = (
+        mean(&rows.iter().map(|r| r.1).collect::<Vec<_>>()),
+        mean(&rows.iter().map(|r| r.2).collect::<Vec<_>>()),
+        mean(&rows.iter().map(|r| r.3).collect::<Vec<_>>()),
+    );
+    OptBoundResult { rows, means, gap_closed: mean(&gaps) }
+}
+
+/// Renders the comparison table.
+pub fn render(result: &OptBoundResult) -> String {
+    let mut out = String::new();
+    out.push_str("Extension: Belady-OPT bound vs LRU and CHiRP (MPKI)\n");
+    let mut table = Table::new(["benchmark", "LRU", "CHiRP", "OPT"]);
+    for (name, l, c, o) in &result.rows {
+        table.row([
+            name.clone(),
+            format!("{l:.3}"),
+            format!("{c:.3}"),
+            format!("{o:.3}"),
+        ]);
+    }
+    table.row([
+        "MEAN".to_string(),
+        format!("{:.3}", result.means.0),
+        format!("{:.3}", result.means.1),
+        format!("{:.3}", result.means.2),
+    ]);
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nCHiRP closes {:.1}% of the LRU->OPT gap on average\n",
+        result.gap_closed * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chirp_trace::suite::{build_suite, SuiteConfig};
+
+    #[test]
+    fn opt_lower_bounds_both_policies() {
+        let suite = build_suite(&SuiteConfig { benchmarks: 3 });
+        let config = RunnerConfig { instructions: 120_000, threads: 1, ..Default::default() };
+        let result = run(&suite, &config);
+        for (name, lru, _chirp, opt) in &result.rows {
+            assert!(
+                *opt <= *lru + 1e-9,
+                "{name}: OPT ({opt:.3}) must not exceed LRU ({lru:.3})"
+            );
+        }
+        assert!(result.means.2 <= result.means.0);
+        assert!(render(&result).contains("OPT"));
+    }
+}

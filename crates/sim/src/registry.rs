@@ -1,0 +1,108 @@
+//! Policy registry: the set of policies the paper evaluates, constructible
+//! by name for the experiment drivers.
+
+use chirp_core::{Chirp, ChirpConfig};
+use chirp_tlb::policies::{
+    Drrip, Ghrp, GhrpConfig, Lru, PerceptronConfig, PerceptronReuse, RandomPolicy, ShipConfig,
+    ShipTlb, Srrip,
+};
+use chirp_tlb::{TlbGeometry, TlbReplacementPolicy};
+use serde::{Deserialize, Serialize};
+
+/// The policies under study (paper §V: LRU, Random, SRRIP, SHiP, GHRP,
+/// CHiRP). Bélády-OPT is driven separately because it needs a recorded
+/// oracle (see `chirp_tlb::policies::OptPolicy`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// True LRU.
+    Lru,
+    /// Random victim.
+    Random,
+    /// Static re-reference interval prediction.
+    Srrip,
+    /// Signature-based hit prediction (TLB adaptation).
+    Ship,
+    /// Global history reuse prediction (TLB adaptation).
+    Ghrp,
+    /// Control-flow history reuse prediction with the given configuration.
+    Chirp(ChirpConfig),
+    /// Dynamic RRIP (extension baseline, not in the paper's lineup).
+    Drrip,
+    /// Perceptron reuse prediction (extension baseline; the online form of
+    /// the Teran et al. predictor the paper cites in §II-D).
+    PerceptronReuse,
+}
+
+impl PolicyKind {
+    /// The six policies of the paper's headline comparison, CHiRP last.
+    pub fn paper_lineup() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::Lru,
+            PolicyKind::Random,
+            PolicyKind::Srrip,
+            PolicyKind::Ship,
+            PolicyKind::Ghrp,
+            PolicyKind::Chirp(ChirpConfig::default()),
+        ]
+    }
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "lru",
+            PolicyKind::Random => "random",
+            PolicyKind::Srrip => "srrip",
+            PolicyKind::Ship => "ship",
+            PolicyKind::Ghrp => "ghrp",
+            PolicyKind::Chirp(_) => "chirp",
+            PolicyKind::Drrip => "drrip",
+            PolicyKind::PerceptronReuse => "perceptron",
+        }
+    }
+
+    /// Instantiates the policy for `geometry`. `seed` feeds randomised
+    /// policies so whole-suite runs stay reproducible.
+    pub fn build(&self, geometry: TlbGeometry, seed: u64) -> Box<dyn TlbReplacementPolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(Lru::new(geometry)),
+            PolicyKind::Random => Box::new(RandomPolicy::new(geometry, seed)),
+            PolicyKind::Srrip => Box::new(Srrip::new(geometry)),
+            PolicyKind::Ship => Box::new(ShipTlb::new(geometry, ShipConfig::default())),
+            PolicyKind::Ghrp => Box::new(Ghrp::new(geometry, GhrpConfig::default())),
+            PolicyKind::Chirp(config) => Box::new(Chirp::new(geometry, *config)),
+            PolicyKind::Drrip => Box::new(Drrip::new(geometry)),
+            PolicyKind::PerceptronReuse => {
+                Box::new(PerceptronReuse::new(geometry, PerceptronConfig::default()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_matches_paper_order() {
+        let names: Vec<&str> = PolicyKind::paper_lineup().iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["lru", "random", "srrip", "ship", "ghrp", "chirp"]);
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        let geom = TlbGeometry::default();
+        for kind in PolicyKind::paper_lineup() {
+            let policy = kind.build(geom, 0);
+            assert_eq!(policy.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn chirp_storage_is_smallest_predictive_policy() {
+        // §VI-H: CHiRP needs one table vs GHRP's three.
+        let geom = TlbGeometry::default();
+        let chirp = PolicyKind::Chirp(ChirpConfig::default()).build(geom, 0);
+        let ghrp = PolicyKind::Ghrp.build(geom, 0);
+        assert!(chirp.storage().table_bits < ghrp.storage().table_bits);
+    }
+}

@@ -1,0 +1,210 @@
+//! Report rendering: aligned tables, ASCII S-curves and density plots, and
+//! CSV emission — the textual equivalents of the paper's figures.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// An aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row; extra/missing cells are tolerated in rendering.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with first column left-aligned and the rest right-aligned.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for i in 0..cols {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    let _ = write!(out, "{cell:<width$}", width = widths[0]);
+                } else {
+                    let _ = write!(out, "  {cell:>width$}", width = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the table as CSV.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders an ASCII S-curve: `series` are (name, per-benchmark values in a
+/// shared benchmark order); benchmarks are sorted by the first series
+/// (matching the paper's Figure 7, which sorts by LRU MPKI).
+pub fn render_scurve(series: &[(String, Vec<f64>)], height: usize, width: usize) -> String {
+    if series.is_empty() || series[0].1.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let n = series[0].1.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| series[0].1[a].partial_cmp(&series[0].1[b]).expect("finite values"));
+
+    let max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter())
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let cols = width.min(n).max(1);
+    let mut grid = vec![vec![' '; cols]; height];
+    let marks = ['*', 'o', '+', 'x', '#', '@', '%'];
+    for (si, (_, values)) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        for c in 0..cols {
+            let bench = order[c * n / cols];
+            let v = values[bench];
+            let r = ((v / max) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - r.min(height - 1);
+            grid[row][c] = mark;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "max = {max:.3}");
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(cols));
+    out.push('\n');
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "  {} {}", marks[si % marks.len()], name);
+    }
+    out
+}
+
+/// Renders an ASCII density (histogram) plot of `values` over `bins`
+/// buckets between `lo` and `hi`, with the mean marked.
+pub fn render_density(name: &str, values: &[f64], lo: f64, hi: f64, bins: usize) -> String {
+    let mut counts = vec![0usize; bins.max(1)];
+    for &v in values {
+        let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        let b = ((t * bins as f64) as usize).min(bins - 1);
+        counts[b] += 1;
+    }
+    let maxc = counts.iter().copied().max().unwrap_or(0).max(1);
+    let mean = if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{name} (mean = {mean:.4})");
+    for (i, &c) in counts.iter().enumerate() {
+        let bucket_lo = lo + (hi - lo) * i as f64 / bins as f64;
+        let bar = "#".repeat(c * 40 / maxc);
+        let _ = writeln!(out, "{bucket_lo:>8.2} | {bar} {c}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["Policy", "MPKI"]);
+        t.row(["lru", "1.51"]);
+        t.row(["chirp", "1.08"]);
+        let s = t.render();
+        assert!(s.contains("Policy"));
+        assert!(s.contains("chirp"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn table_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("chirp_report_test");
+        let path = dir.join("t.csv");
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        t.write_csv(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "a,b\n1,2\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scurve_orders_by_first_series() {
+        let series = vec![
+            ("lru".to_string(), vec![3.0, 1.0, 2.0]),
+            ("chirp".to_string(), vec![2.0, 0.5, 1.0]),
+        ];
+        let s = render_scurve(&series, 5, 30);
+        assert!(s.contains("lru"));
+        assert!(s.contains("chirp"));
+        assert!(s.starts_with("max = 3.000"));
+    }
+
+    #[test]
+    fn scurve_empty_input() {
+        assert_eq!(render_scurve(&[], 5, 10), "(no data)\n");
+    }
+
+    #[test]
+    fn density_counts_fall_in_bins() {
+        let s = render_density("rate", &[0.1, 0.1, 0.9], 0.0, 1.0, 10);
+        assert!(s.contains("mean = 0.3667"));
+        assert!(s.lines().count() == 11);
+    }
+}

@@ -1,0 +1,140 @@
+//! Parallel suite runner: simulates every benchmark under every policy,
+//! spreading benchmarks over worker threads.
+
+use crate::config::SimConfig;
+use crate::engine::Simulator;
+use crate::metrics::RunResult;
+use crate::registry::PolicyKind;
+use chirp_trace::suite::BenchmarkSpec;
+use chirp_trace::Category;
+use crossbeam::channel;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Runner parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunnerConfig {
+    /// Instructions generated (and simulated) per benchmark.
+    pub instructions: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Simulator configuration shared by all runs.
+    pub sim: SimConfig,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            instructions: 1_000_000,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// One (benchmark × policy) result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRun {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Benchmark category.
+    pub category: Category,
+    /// The measured result (policy name inside).
+    pub result: RunResult,
+}
+
+/// Runs `policies` over `suite` in parallel. Each worker generates a
+/// benchmark's trace once and reuses it for every policy, so results are
+/// directly comparable. Output order matches `suite` × `policies`.
+pub fn run_suite(
+    suite: &[BenchmarkSpec],
+    policies: &[PolicyKind],
+    config: &RunnerConfig,
+) -> Vec<BenchRun> {
+    let results: Mutex<Vec<Option<Vec<BenchRun>>>> = Mutex::new(vec![None; suite.len()]);
+    let (tx, rx) = channel::unbounded::<usize>();
+    for i in 0..suite.len() {
+        tx.send(i).expect("channel open");
+    }
+    drop(tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..config.threads.max(1) {
+            let rx = rx.clone();
+            let results = &results;
+            scope.spawn(move || {
+                while let Ok(i) = rx.recv() {
+                    let bench = &suite[i];
+                    let trace = bench.generate(config.instructions);
+                    let mut runs = Vec::with_capacity(policies.len());
+                    for policy in policies {
+                        let mut sim = Simulator::new(
+                            &config.sim,
+                            policy.build(config.sim.tlb.l2, bench.seed),
+                        );
+                        let result = sim.run(&trace, config.sim.warmup_fraction);
+                        runs.push(BenchRun {
+                            benchmark: bench.name.clone(),
+                            category: bench.category,
+                            result,
+                        });
+                    }
+                    results.lock()[i] = Some(runs);
+                }
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .into_iter()
+        .flat_map(|r| r.expect("every benchmark was processed"))
+        .collect()
+}
+
+/// Groups per-policy results for one benchmark out of a flat `run_suite`
+/// output: returns, per benchmark (suite order), the runs in policy order.
+pub fn group_by_benchmark(runs: &[BenchRun], policies: usize) -> Vec<&[BenchRun]> {
+    assert!(policies > 0 && runs.len().is_multiple_of(policies), "ragged run matrix");
+    runs.chunks(policies).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chirp_trace::suite::{build_suite, SuiteConfig};
+
+    #[test]
+    fn runs_every_benchmark_under_every_policy() {
+        let suite = build_suite(&SuiteConfig { benchmarks: 4 });
+        let policies = [PolicyKind::Lru, PolicyKind::Srrip];
+        let config = RunnerConfig { instructions: 20_000, threads: 2, ..Default::default() };
+        let runs = run_suite(&suite, &policies, &config);
+        assert_eq!(runs.len(), 8);
+        for (i, run) in runs.iter().enumerate() {
+            assert_eq!(run.benchmark, suite[i / 2].name);
+            assert_eq!(run.result.policy, policies[i % 2].name());
+            assert!(run.result.instructions > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let suite = build_suite(&SuiteConfig { benchmarks: 3 });
+        let policies = [PolicyKind::Lru];
+        let serial = RunnerConfig { instructions: 10_000, threads: 1, ..Default::default() };
+        let parallel = RunnerConfig { instructions: 10_000, threads: 4, ..Default::default() };
+        assert_eq!(run_suite(&suite, &policies, &serial), run_suite(&suite, &policies, &parallel));
+    }
+
+    #[test]
+    fn grouping_slices_by_policy_count() {
+        let suite = build_suite(&SuiteConfig { benchmarks: 2 });
+        let policies = [PolicyKind::Lru, PolicyKind::Random];
+        let config = RunnerConfig { instructions: 5_000, threads: 2, ..Default::default() };
+        let runs = run_suite(&suite, &policies, &config);
+        let grouped = group_by_benchmark(&runs, 2);
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0][0].benchmark, grouped[0][1].benchmark);
+    }
+}

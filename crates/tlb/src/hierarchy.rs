@@ -1,0 +1,244 @@
+//! The two-level TLB hierarchy: L1 i-TLB and d-TLB in front of the unified
+//! L2 TLB and the page walker (paper Table II).
+
+use crate::policy::TlbReplacementPolicy;
+use crate::tlb::L2Tlb;
+use crate::types::{TlbGeometry, TranslationKind};
+use crate::walker::PageWalker;
+use chirp_mem::LruStack;
+use chirp_trace::BranchClass;
+use serde::{Deserialize, Serialize};
+
+/// Latency/geometry configuration for the TLB hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbHierarchyConfig {
+    /// L1 i-TLB geometry (Table II: 64-entry, 8-way).
+    pub l1i: TlbGeometry,
+    /// L1 d-TLB geometry (Table II: 64-entry, 8-way).
+    pub l1d: TlbGeometry,
+    /// L2 TLB geometry (Table II: 1024-entry, 8-way).
+    pub l2: TlbGeometry,
+    /// Extra cycles for an access that must consult the L2 TLB
+    /// (Table II: 8-cycle L2 hit latency).
+    pub l2_hit_latency: u64,
+    /// Page-walk penalty in cycles (paper sweeps 20–360; 150 for the
+    /// headline speedup).
+    pub walk_penalty: u64,
+    /// Optional paging-structure cache (Skylake-style MMU cache, paper §I):
+    /// `(entries, hit_penalty)`. Walks whose PMD-level entry hits pay
+    /// `hit_penalty` instead of the full penalty. `None` reproduces the
+    /// paper's flat-penalty model.
+    pub psc: Option<(usize, u64)>,
+}
+
+impl Default for TlbHierarchyConfig {
+    fn default() -> Self {
+        TlbHierarchyConfig {
+            l1i: TlbGeometry::l1(),
+            l1d: TlbGeometry::l1(),
+            l2: TlbGeometry::default(),
+            l2_hit_latency: 8,
+            walk_penalty: 150,
+            psc: None,
+        }
+    }
+}
+
+/// The result of translating one address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// Extra cycles beyond an L1 TLB hit (0 when the L1 hits).
+    pub cycles: u64,
+    /// Whether the access reached the L2 TLB and whether it hit there.
+    pub l2: Option<bool>,
+}
+
+/// Simple L1 TLB: set-associative, true-LRU, no policy hooks.
+#[derive(Debug, Clone)]
+struct L1Tlb {
+    geometry: TlbGeometry,
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    lru: Vec<LruStack>,
+    hits: u64,
+    misses: u64,
+}
+
+impl L1Tlb {
+    fn new(geometry: TlbGeometry) -> Self {
+        let sets = geometry.sets();
+        L1Tlb {
+            geometry,
+            tags: vec![0; sets * geometry.ways],
+            valid: vec![false; sets * geometry.ways],
+            lru: (0..sets).map(|_| LruStack::new(geometry.ways)).collect(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Returns true on hit; fills (evicting LRU) on miss.
+    fn access(&mut self, vpn: u64) -> bool {
+        let set = self.geometry.set_of(vpn);
+        let ways = self.geometry.ways;
+        let base = set * ways;
+        for way in 0..ways {
+            if self.valid[base + way] && self.tags[base + way] == vpn {
+                self.lru[set].touch(way);
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        let way = (0..ways).find(|&w| !self.valid[base + w]).unwrap_or_else(|| self.lru[set].lru());
+        self.tags[base + way] = vpn;
+        self.valid[base + way] = true;
+        self.lru[set].touch(way);
+        false
+    }
+}
+
+/// L1 i/d TLBs + unified L2 TLB + page walker.
+pub struct TlbHierarchy {
+    l1i: L1Tlb,
+    l1d: L1Tlb,
+    l2: L2Tlb,
+    walker: PageWalker,
+    config: TlbHierarchyConfig,
+}
+
+impl std::fmt::Debug for TlbHierarchy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TlbHierarchy")
+            .field("config", &self.config)
+            .field("l2", &self.l2)
+            .finish()
+    }
+}
+
+impl TlbHierarchy {
+    /// Builds the hierarchy with the given L2 replacement policy.
+    pub fn new(config: TlbHierarchyConfig, l2_policy: Box<dyn TlbReplacementPolicy>) -> Self {
+        let mut walker = PageWalker::new(config.walk_penalty);
+        if let Some((entries, hit_penalty)) = config.psc {
+            walker = walker.with_psc(entries, hit_penalty);
+        }
+        TlbHierarchy {
+            l1i: L1Tlb::new(config.l1i),
+            l1d: L1Tlb::new(config.l1d),
+            l2: L2Tlb::new(config.l2, l2_policy),
+            walker,
+            config,
+        }
+    }
+
+    /// Translates an address. `pc` is the instruction responsible (equal to
+    /// the translated address for instruction fetches).
+    pub fn translate(&mut self, pc: u64, vpn: u64, kind: TranslationKind) -> Translation {
+        let l1 = match kind {
+            TranslationKind::Instruction => &mut self.l1i,
+            TranslationKind::Data => &mut self.l1d,
+        };
+        if l1.access(vpn) {
+            return Translation { cycles: 0, l2: None };
+        }
+        let outcome = self.l2.access(pc, vpn, kind);
+        if outcome.hit {
+            Translation { cycles: self.config.l2_hit_latency, l2: Some(true) }
+        } else {
+            let walk = self.walker.walk(vpn);
+            Translation { cycles: self.config.l2_hit_latency + walk, l2: Some(false) }
+        }
+    }
+
+    /// Forwards a retired branch to the L2 policy.
+    pub fn on_branch(&mut self, pc: u64, class: BranchClass, taken: bool) {
+        self.l2.on_branch(pc, class, taken);
+    }
+
+    /// Forwards a misprediction event to the L2 policy (wrong-path
+    /// modelling hook).
+    pub fn on_mispredict(&mut self, pc: u64) {
+        self.l2.on_mispredict(pc);
+    }
+
+    /// The L2 TLB (stats, efficiency, policy access).
+    pub fn l2(&self) -> &L2Tlb {
+        &self.l2
+    }
+
+    /// L1 statistics: (i-TLB hits, i-TLB misses, d-TLB hits, d-TLB misses).
+    pub fn l1_stats(&self) -> (u64, u64, u64, u64) {
+        (self.l1i.hits, self.l1i.misses, self.l1d.hits, self.l1d.misses)
+    }
+
+    /// The page walker (walk counts and cycles).
+    pub fn walker(&self) -> &PageWalker {
+        &self.walker
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> TlbHierarchyConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::Lru;
+
+    fn hierarchy() -> TlbHierarchy {
+        let config = TlbHierarchyConfig::default();
+        TlbHierarchy::new(config, Box::new(Lru::new(config.l2)))
+    }
+
+    #[test]
+    fn l1_hit_is_free() {
+        let mut h = hierarchy();
+        h.translate(0x400000, 7, TranslationKind::Data);
+        let t = h.translate(0x400000, 7, TranslationKind::Data);
+        assert_eq!(t, Translation { cycles: 0, l2: None });
+    }
+
+    #[test]
+    fn l2_miss_pays_walk() {
+        let mut h = hierarchy();
+        let t = h.translate(0x400000, 7, TranslationKind::Data);
+        assert_eq!(t.cycles, 8 + 150);
+        assert_eq!(t.l2, Some(false));
+        assert_eq!(h.walker().walks(), 1);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut h = hierarchy();
+        // Fill L1 d-TLB set 0 (vpns ≡ 0 mod 8) beyond its 8 ways.
+        for i in 0..9u64 {
+            h.translate(0x400000, i * 8, TranslationKind::Data);
+        }
+        // vpn 0 fell out of L1 but is still in the 1024-entry L2.
+        let t = h.translate(0x400000, 0, TranslationKind::Data);
+        assert_eq!(t, Translation { cycles: 8, l2: Some(true) });
+    }
+
+    #[test]
+    fn psc_option_discounts_neighbouring_walks() {
+        let config = TlbHierarchyConfig { psc: Some((16, 30)), ..Default::default() };
+        let mut h = TlbHierarchy::new(config, Box::new(Lru::new(config.l2)));
+        // Two misses to neighbouring pages: the second walk hits the PSC.
+        let t1 = h.translate(0, 0x1000, TranslationKind::Data);
+        let t2 = h.translate(0, 0x1001, TranslationKind::Data);
+        assert_eq!(t1.cycles, 8 + 150);
+        assert_eq!(t2.cycles, 8 + 30);
+    }
+
+    #[test]
+    fn instruction_and_data_l1_are_separate() {
+        let mut h = hierarchy();
+        h.translate(0x400000, 0x400, TranslationKind::Instruction);
+        // Same vpn on the data side misses L1d but hits unified L2.
+        let t = h.translate(0x400000, 0x400, TranslationKind::Data);
+        assert_eq!(t, Translation { cycles: 8, l2: Some(true) });
+    }
+}

@@ -1,0 +1,116 @@
+//! The replacement-policy interface every policy implements.
+//!
+//! The L2 TLB owns the tag/valid arrays; a policy owns whatever per-entry
+//! metadata it needs (LRU stacks, RRPVs, signatures, dead bits) plus any
+//! prediction tables, and reacts to the TLB's callbacks. The interface also
+//! exposes the two accounting hooks the paper's evaluation needs:
+//! prediction-table access counts (Figure 11) and storage overhead
+//! (Table I / §VI-H).
+
+use crate::types::TlbAccess;
+use chirp_trace::BranchClass;
+
+/// Storage accounting for a policy (Table I style).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyStorage {
+    /// Bits of metadata stored per TLB entry, summed over all entries.
+    pub metadata_bits: u64,
+    /// Bits of global state (history registers).
+    pub register_bits: u64,
+    /// Bits of prediction tables.
+    pub table_bits: u64,
+}
+
+impl PolicyStorage {
+    /// Total storage in bits.
+    pub fn total_bits(&self) -> u64 {
+        self.metadata_bits + self.register_bits + self.table_bits
+    }
+
+    /// Total storage in bytes (rounded up).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bits().div_ceil(8)
+    }
+}
+
+/// Replacement policy for a set-associative TLB.
+///
+/// Call protocol, per L2 TLB access:
+///
+/// 1. the TLB resolves hit/miss against its tags;
+/// 2. on a hit, it calls [`on_hit`](Self::on_hit);
+/// 3. on a miss with a free (invalid) way it calls
+///    [`on_fill`](Self::on_fill) directly;
+/// 4. on a miss with a full set it calls
+///    [`choose_victim`](Self::choose_victim), then
+///    [`on_evict`](Self::on_evict) for the chosen way, then
+///    [`on_fill`](Self::on_fill) for the new entry in that way.
+///
+/// Independently, the driving simulator forwards every retired branch to
+/// [`on_branch`](Self::on_branch) so history-based policies can maintain
+/// their registers.
+pub trait TlbReplacementPolicy {
+    /// Short stable name for reports (e.g. `"lru"`, `"chirp"`).
+    fn name(&self) -> &str;
+
+    /// Picks the way to evict in `acc.set`. All ways are valid when this is
+    /// called. Must return a way index `< ways`.
+    fn choose_victim(&mut self, acc: &TlbAccess) -> usize;
+
+    /// The access hit `way` in `acc.set`.
+    fn on_hit(&mut self, acc: &TlbAccess, way: usize);
+
+    /// A new entry for `acc.vpn` was installed in `way` of `acc.set`.
+    fn on_fill(&mut self, acc: &TlbAccess, way: usize);
+
+    /// The entry in (`set`, `way`) chosen by [`choose_victim`](Self::choose_victim)
+    /// is being evicted (called before [`on_fill`](Self::on_fill)).
+    fn on_evict(&mut self, _set: usize, _way: usize) {}
+
+    /// A branch retired. History-based policies fold the PC into their
+    /// registers (paper Algorithm 5, lines 22–26).
+    fn on_branch(&mut self, _pc: u64, _class: BranchClass, _taken: bool) {}
+
+    /// A branch mispredicted: the front end fetched down the wrong path
+    /// before redirecting. Policies that maintain *speculative* histories
+    /// without commit-time recovery model their pollution here; the
+    /// paper's CHiRP keeps a committed history and ignores this (§VI-E).
+    fn on_mispredict(&mut self, _pc: u64) {}
+
+    /// Total reads + writes of prediction tables so far (Figure 11).
+    fn prediction_table_accesses(&self) -> u64 {
+        0
+    }
+
+    /// Evictions that picked a predicted-dead entry rather than the LRU
+    /// fallback (0 for non-predictive policies).
+    fn dead_eviction_count(&self) -> u64 {
+        0
+    }
+
+    /// Storage overhead breakdown (Table I / §VI-H).
+    fn storage(&self) -> PolicyStorage;
+
+    /// Downcast hook for diagnostics tooling; policies that expose internal
+    /// state override this to return `self`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_totals() {
+        let s = PolicyStorage { metadata_bits: 10, register_bits: 3, table_bits: 4 };
+        assert_eq!(s.total_bits(), 17);
+        assert_eq!(s.total_bytes(), 3);
+    }
+
+    #[test]
+    fn zero_storage_is_zero_bytes() {
+        assert_eq!(PolicyStorage::default().total_bytes(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! TLB access statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss accounting for one TLB level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Misses satisfied by evicting a predicted-dead entry rather than the
+    /// LRU fallback (0 for non-predictive policies).
+    pub dead_evictions: u64,
+    /// Misses that filled an invalid way (no eviction at all).
+    pub cold_fills: u64,
+}
+
+impl TlbStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Misses per 1000 instructions — the paper's primary metric.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+
+    /// Miss ratio in `[0, 1]`.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpki_and_ratio() {
+        let s = TlbStats { hits: 900, misses: 100, dead_evictions: 10, cold_fills: 5 };
+        assert_eq!(s.accesses(), 1000);
+        assert!((s.mpki(100_000) - 1.0).abs() < 1e-12);
+        assert!((s.miss_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_instruction_guard() {
+        assert_eq!(TlbStats::default().mpki(0), 0.0);
+        assert_eq!(TlbStats::default().miss_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! The unified L2 TLB with a pluggable replacement policy.
+
+use crate::efficiency::EfficiencyTracker;
+use crate::policy::TlbReplacementPolicy;
+use crate::stats::TlbStats;
+use crate::types::{TlbAccess, TlbGeometry, TranslationKind};
+use chirp_trace::BranchClass;
+
+/// Result of one L2 TLB access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the translation was resident.
+    pub hit: bool,
+    /// The way that hit or was filled.
+    pub way: usize,
+    /// The VPN evicted to make room, if any.
+    pub evicted: Option<u64>,
+}
+
+/// A set-associative TLB whose replacement decisions are delegated to a
+/// [`TlbReplacementPolicy`].
+pub struct L2Tlb {
+    geometry: TlbGeometry,
+    /// `sets * ways` VPN tags, flattened row-major by set.
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    policy: Box<dyn TlbReplacementPolicy>,
+    stats: TlbStats,
+    efficiency: EfficiencyTracker,
+}
+
+impl std::fmt::Debug for L2Tlb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("L2Tlb")
+            .field("geometry", &self.geometry)
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl L2Tlb {
+    /// Builds the TLB with `geometry` and the given policy.
+    pub fn new(geometry: TlbGeometry, policy: Box<dyn TlbReplacementPolicy>) -> Self {
+        let sets = geometry.sets();
+        L2Tlb {
+            geometry,
+            tags: vec![0; sets * geometry.ways],
+            valid: vec![false; sets * geometry.ways],
+            policy,
+            stats: TlbStats::default(),
+            efficiency: EfficiencyTracker::new(sets, geometry.ways),
+        }
+    }
+
+    /// The TLB geometry.
+    pub fn geometry(&self) -> TlbGeometry {
+        self.geometry
+    }
+
+    /// Looks up `vpn`, filling on a miss. `pc` is the instruction that
+    /// caused the access (the PC the CHiRP signature uses, paper §IV-B).
+    pub fn access(&mut self, pc: u64, vpn: u64, kind: TranslationKind) -> AccessOutcome {
+        let set = self.geometry.set_of(vpn);
+        let acc = TlbAccess { pc, vpn, kind, set };
+        self.efficiency.tick();
+        let ways = self.geometry.ways;
+        let base = set * ways;
+
+        for way in 0..ways {
+            if self.valid[base + way] && self.tags[base + way] == vpn {
+                self.stats.hits += 1;
+                self.efficiency.on_hit(set, way);
+                self.policy.on_hit(&acc, way);
+                return AccessOutcome { hit: true, way, evicted: None };
+            }
+        }
+
+        self.stats.misses += 1;
+        // Fill an invalid way first; otherwise ask the policy for a victim.
+        let (way, evicted) = match (0..ways).find(|&w| !self.valid[base + w]) {
+            Some(free) => {
+                self.stats.cold_fills += 1;
+                (free, None)
+            }
+            None => {
+                let victim = self.policy.choose_victim(&acc);
+                assert!(victim < ways, "policy returned way {victim} of {ways}");
+                let old = self.tags[base + victim];
+                self.policy.on_evict(set, victim);
+                (victim, Some(old))
+            }
+        };
+        self.tags[base + way] = vpn;
+        self.valid[base + way] = true;
+        self.efficiency.on_insert(set, way);
+        self.policy.on_fill(&acc, way);
+        AccessOutcome { hit: false, way, evicted }
+    }
+
+    /// Forwards a retired branch to the policy's history registers.
+    pub fn on_branch(&mut self, pc: u64, class: BranchClass, taken: bool) {
+        self.policy.on_branch(pc, class, taken);
+    }
+
+    /// Forwards a misprediction event to the policy (wrong-path hook).
+    pub fn on_mispredict(&mut self, pc: u64) {
+        self.policy.on_mispredict(pc);
+    }
+
+    /// Accumulated statistics. `dead_evictions` is sourced live from the
+    /// policy (predictive policies track which victims were dead-predicted).
+    pub fn stats(&self) -> TlbStats {
+        TlbStats { dead_evictions: self.policy.dead_eviction_count(), ..self.stats }
+    }
+
+    /// TLB efficiency so far (Figure 1 metric).
+    pub fn efficiency(&self) -> f64 {
+        self.efficiency.efficiency()
+    }
+
+    /// The policy driving replacement.
+    pub fn policy(&self) -> &dyn TlbReplacementPolicy {
+        self.policy.as_ref()
+    }
+
+    /// True if `vpn` is currently resident (no side effects).
+    pub fn probe(&self, vpn: u64) -> bool {
+        let set = self.geometry.set_of(vpn);
+        let base = set * self.geometry.ways;
+        (0..self.geometry.ways).any(|w| self.valid[base + w] && self.tags[base + w] == vpn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::Lru;
+
+    fn tiny() -> L2Tlb {
+        let geom = TlbGeometry { entries: 8, ways: 2 }; // 4 sets x 2 ways
+        L2Tlb::new(geom, Box::new(Lru::new(geom)))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut tlb = tiny();
+        let first = tlb.access(0x400000, 42, TranslationKind::Data);
+        assert!(!first.hit);
+        let second = tlb.access(0x400000, 42, TranslationKind::Data);
+        assert!(second.hit);
+        assert_eq!(second.way, first.way);
+        assert_eq!(tlb.stats().misses, 1);
+        assert_eq!(tlb.stats().hits, 1);
+    }
+
+    #[test]
+    fn eviction_reports_victim_vpn() {
+        let mut tlb = tiny();
+        // Set 2 receives vpns ≡ 2 (mod 4): 2, 6, 10.
+        tlb.access(0, 2, TranslationKind::Data);
+        tlb.access(0, 6, TranslationKind::Data);
+        let out = tlb.access(0, 10, TranslationKind::Data);
+        assert_eq!(out.evicted, Some(2), "LRU victim is the oldest vpn");
+        assert!(!tlb.probe(2));
+        assert!(tlb.probe(6));
+        assert!(tlb.probe(10));
+    }
+
+    #[test]
+    fn cold_fills_counted() {
+        let mut tlb = tiny();
+        tlb.access(0, 1, TranslationKind::Instruction);
+        tlb.access(0, 5, TranslationKind::Instruction);
+        assert_eq!(tlb.stats().cold_fills, 2);
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut tlb = tiny();
+        for vpn in 0..4 {
+            tlb.access(0, vpn, TranslationKind::Data);
+        }
+        for vpn in 0..4 {
+            assert!(tlb.probe(vpn), "vpn {vpn} sits in its own set");
+        }
+    }
+}

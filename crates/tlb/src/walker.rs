@@ -1,0 +1,128 @@
+//! Page-walk latency model.
+//!
+//! The paper treats the L2 TLB miss penalty as a configurable flat cost and
+//! sweeps it from 20 to 360 cycles (§V, Figure 10), citing measured
+//! penalties between 18 (Haswell) and 272 (Broadwell-Xeon) cycles. This
+//! model reproduces that: a flat `penalty` per walk, with an optional
+//! paging-structure cache (PSC) extension that discounts walks whose
+//! upper-level entries were recently used — the Skylake-style MMU caches the
+//! paper mentions in §I.
+
+use chirp_mem::LruStack;
+
+/// Flat-latency page walker with an optional paging-structure cache.
+#[derive(Debug, Clone)]
+pub struct PageWalker {
+    penalty: u64,
+    psc: Option<Psc>,
+    walks: u64,
+    cycles: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Psc {
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    lru: LruStack,
+    hit_penalty: u64,
+}
+
+impl PageWalker {
+    /// A walker with a flat `penalty` per walk (the paper's model).
+    pub fn new(penalty: u64) -> Self {
+        PageWalker { penalty, psc: None, walks: 0, cycles: 0 }
+    }
+
+    /// Enables the PSC extension: walks whose PMD-level entry (vpn >> 9)
+    /// hits a fully-associative `entries`-entry cache cost `hit_penalty`
+    /// instead of the full penalty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries == 0`.
+    pub fn with_psc(mut self, entries: usize, hit_penalty: u64) -> Self {
+        assert!(entries > 0, "PSC needs at least one entry");
+        self.psc = Some(Psc {
+            tags: vec![0; entries],
+            valid: vec![false; entries],
+            lru: LruStack::new(entries),
+            hit_penalty,
+        });
+        self
+    }
+
+    /// Performs a walk for `vpn` and returns its cycle cost.
+    pub fn walk(&mut self, vpn: u64) -> u64 {
+        self.walks += 1;
+        let cost = match &mut self.psc {
+            None => self.penalty,
+            Some(psc) => {
+                let pmd = vpn >> 9;
+                let hit = (0..psc.tags.len()).find(|&i| psc.valid[i] && psc.tags[i] == pmd);
+                match hit {
+                    Some(i) => {
+                        psc.lru.touch(i);
+                        psc.hit_penalty
+                    }
+                    None => {
+                        let victim = (0..psc.tags.len())
+                            .find(|&i| !psc.valid[i])
+                            .unwrap_or_else(|| psc.lru.lru());
+                        psc.tags[victim] = pmd;
+                        psc.valid[victim] = true;
+                        psc.lru.touch(victim);
+                        self.penalty
+                    }
+                }
+            }
+        };
+        self.cycles += cost;
+        cost
+    }
+
+    /// Flat penalty this walker was built with.
+    pub fn penalty(&self) -> u64 {
+        self.penalty
+    }
+
+    /// Number of walks performed.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// Total walk cycles accumulated.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_penalty() {
+        let mut w = PageWalker::new(150);
+        assert_eq!(w.walk(1), 150);
+        assert_eq!(w.walk(2), 150);
+        assert_eq!(w.walks(), 2);
+        assert_eq!(w.total_cycles(), 300);
+    }
+
+    #[test]
+    fn psc_discounts_nearby_pages() {
+        let mut w = PageWalker::new(150).with_psc(16, 30);
+        assert_eq!(w.walk(0x1000), 150, "first walk misses the PSC");
+        assert_eq!(w.walk(0x1001), 30, "same PMD region hits the PSC");
+        assert_eq!(w.walk(0x9_0000), 150, "distant page misses again");
+    }
+
+    #[test]
+    fn psc_evicts_lru() {
+        let mut w = PageWalker::new(100).with_psc(2, 10);
+        w.walk(0 << 9);
+        w.walk(1 << 9);
+        w.walk(2 << 9); // evicts PMD 0
+        assert_eq!(w.walk(0), 100);
+    }
+}

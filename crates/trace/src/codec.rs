@@ -1,0 +1,261 @@
+//! Compact binary trace codec.
+//!
+//! The CVP-1 traces the paper uses are delta-compressed binary files; this
+//! module provides an equivalent on-disk representation so generated suites
+//! can be materialised once and replayed across policy runs. The format is:
+//!
+//! ```text
+//! magic   : 4 bytes  "CHRP"
+//! version : u8       (currently 1)
+//! count   : u64 LE   number of records
+//! records : count × { kind:u8, flags:u8, pc:varint-delta,
+//!                     [ea:varint], [target:varint] }
+//! ```
+//!
+//! PCs are encoded as zig-zag deltas from the previous record's PC, which
+//! makes sequential code nearly free to store. Effective addresses and
+//! targets are encoded only when the kind requires them (flag-driven).
+
+use crate::record::{InstrKind, TraceRecord};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"CHRP";
+const VERSION: u8 = 1;
+
+const FLAG_TAKEN: u8 = 1 << 0;
+const FLAG_HAS_EA: u8 = 1 << 1;
+const FLAG_HAS_TARGET: u8 = 1 << 2;
+
+/// Errors produced while decoding a trace buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer does not start with the `CHRP` magic.
+    BadMagic,
+    /// The format version is not supported by this build.
+    UnsupportedVersion(u8),
+    /// The buffer ended before the declared record count was reached.
+    Truncated,
+    /// A record carried an unknown [`InstrKind`] discriminant.
+    BadKind(u8),
+    /// A varint ran past its maximum length.
+    BadVarint,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "trace buffer does not begin with CHRP magic"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            CodecError::Truncated => write!(f, "trace buffer ended before declared record count"),
+            CodecError::BadKind(k) => write!(f, "unknown instruction kind discriminant {k}"),
+            CodecError::BadVarint => write!(f, "malformed varint in trace buffer"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[inline]
+fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+    let mut shift = 0u32;
+    let mut out = 0u64;
+    for _ in 0..10 {
+        if !buf.has_remaining() {
+            return Err(CodecError::Truncated);
+        }
+        let byte = buf.get_u8();
+        out |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+    }
+    Err(CodecError::BadVarint)
+}
+
+/// Serialises a trace into the compact binary format.
+///
+/// ```
+/// use chirp_trace::{read_trace, write_trace, TraceRecord};
+///
+/// let trace = vec![TraceRecord::alu(0x400000), TraceRecord::load(0x400004, 0x7000_0000)];
+/// let bytes = write_trace(&trace);
+/// assert_eq!(read_trace(&bytes)?, trace);
+/// # Ok::<(), chirp_trace::CodecError>(())
+/// ```
+pub fn write_trace(records: &[TraceRecord]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(16 + records.len() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u64_le(records.len() as u64);
+    let mut prev_pc = 0u64;
+    for rec in records {
+        let mut flags = 0u8;
+        if rec.taken {
+            flags |= FLAG_TAKEN;
+        }
+        let has_ea = rec.kind.is_memory();
+        let has_target = rec.kind.is_branch();
+        if has_ea {
+            flags |= FLAG_HAS_EA;
+        }
+        if has_target {
+            flags |= FLAG_HAS_TARGET;
+        }
+        buf.put_u8(rec.kind as u8);
+        buf.put_u8(flags);
+        put_varint(&mut buf, zigzag_encode(rec.pc.wrapping_sub(prev_pc) as i64));
+        prev_pc = rec.pc;
+        if has_ea {
+            put_varint(&mut buf, rec.effective_address);
+        }
+        if has_target {
+            put_varint(&mut buf, rec.target);
+        }
+    }
+    buf.to_vec()
+}
+
+/// Deserialises a trace previously produced by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] if the buffer is truncated, carries an unknown
+/// version or kind, or contains a malformed varint.
+pub fn read_trace(data: &[u8]) -> Result<Vec<TraceRecord>, CodecError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 4 + 1 + 8 {
+        return Err(CodecError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let count = buf.get_u64_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut prev_pc = 0u64;
+    for _ in 0..count {
+        if buf.remaining() < 2 {
+            return Err(CodecError::Truncated);
+        }
+        let kind_byte = buf.get_u8();
+        let kind = InstrKind::from_u8(kind_byte).ok_or(CodecError::BadKind(kind_byte))?;
+        let flags = buf.get_u8();
+        let delta = zigzag_decode(get_varint(&mut buf)?);
+        let pc = prev_pc.wrapping_add(delta as u64);
+        prev_pc = pc;
+        let effective_address =
+            if flags & FLAG_HAS_EA != 0 { get_varint(&mut buf)? } else { 0 };
+        let target = if flags & FLAG_HAS_TARGET != 0 { get_varint(&mut buf)? } else { 0 };
+        out.push(TraceRecord {
+            pc,
+            kind,
+            effective_address,
+            target,
+            taken: flags & FLAG_TAKEN != 0,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRecord;
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let bytes = write_trace(&[]);
+        assert_eq!(read_trace(&bytes).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn mixed_trace_roundtrips() {
+        let trace = vec![
+            TraceRecord::alu(0x400000),
+            TraceRecord::load(0x400004, 0x7fff_0000_1234),
+            TraceRecord::store(0x400008, 0x1_0000_0000),
+            TraceRecord::cond_branch(0x40000c, 0x400000, true),
+            TraceRecord::cond_branch(0x40000c, 0x400010, false),
+            TraceRecord::call(0x400010, 0x500000),
+            TraceRecord::ret(0x500040, 0x400014),
+            TraceRecord::indirect_jump(0x400014, 0x600000),
+        ];
+        let bytes = write_trace(&trace);
+        assert_eq!(read_trace(&bytes).unwrap(), trace);
+    }
+
+    #[test]
+    fn backward_pc_deltas_roundtrip() {
+        // Returns jump backwards; zig-zag must handle negative deltas.
+        let trace = vec![TraceRecord::alu(0x9000_0000), TraceRecord::alu(0x400000)];
+        assert_eq!(read_trace(&write_trace(&trace)).unwrap(), trace);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = write_trace(&[TraceRecord::alu(0)]);
+        bytes[0] = b'X';
+        assert_eq!(read_trace(&bytes), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = write_trace(&[TraceRecord::alu(0)]);
+        bytes[4] = 99;
+        assert_eq!(read_trace(&bytes), Err(CodecError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let bytes = write_trace(&[TraceRecord::load(0x400000, 0x12345678)]);
+        for cut in 0..bytes.len() {
+            assert!(
+                read_trace(&bytes[..cut]).is_err(),
+                "prefix of length {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut bytes = write_trace(&[TraceRecord::alu(4)]);
+        // kind byte of first record sits right after the 13-byte header
+        bytes[13] = 42;
+        assert_eq!(read_trace(&bytes), Err(CodecError::BadKind(42)));
+    }
+
+    #[test]
+    fn zigzag_is_involutive() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 0x7fff_ffff_ffff] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+}

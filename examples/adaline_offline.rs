@@ -1,0 +1,27 @@
+//! Offline learning (paper §II-D / §III-A): record TLB reuse events under
+//! LRU, train an L1-regularised ADALINE on the PC bits of the inserting
+//! instruction, and inspect which bits carry predictive weight.
+//!
+//! ```sh
+//! cargo run --release --example adaline_offline
+//! ```
+
+use chirp_repro::sim::experiments::fig3_adaline;
+use chirp_repro::sim::RunnerConfig;
+use chirp_repro::trace::suite::{build_suite, SuiteConfig};
+
+fn main() {
+    let suite = build_suite(&SuiteConfig { benchmarks: 8 });
+    let config = RunnerConfig { instructions: 400_000, threads: 1, ..Default::default() };
+    let result = fig3_adaline::run(&suite, &config);
+    println!("{}", fig3_adaline::render(&result));
+
+    for profile in &result.profiles {
+        println!(
+            "{:<40} top bits {:?}  accuracy {:.2}",
+            profile.benchmark,
+            profile.top_bits(3),
+            profile.accuracy
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Suite-level policy comparison: runs the paper's six policies over a
+//! sample of the 870-benchmark suite in parallel and prints the Figure 7
+//! style summary.
+//!
+//! ```sh
+//! cargo run --release --example policy_comparison
+//! ```
+
+use chirp_repro::sim::experiments::fig7_mpki;
+use chirp_repro::sim::RunnerConfig;
+use chirp_repro::trace::suite::{build_suite, SuiteConfig};
+
+fn main() {
+    let suite = build_suite(&SuiteConfig { benchmarks: 32 });
+    println!("running {} benchmarks x 6 policies...", suite.len());
+    let config = RunnerConfig { instructions: 400_000, ..Default::default() };
+    let result = fig7_mpki::run(&suite, &config);
+    println!("{}", fig7_mpki::render(&result));
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the CHiRP reproduction: re-exports the public API of
+//! every workspace crate so examples and integration tests have a single
+//! import root.
+//!
+//! See the repository README for the architecture overview and
+//! `DESIGN.md` for the per-experiment index.
+
+pub use chirp_branch as branch;
+pub use chirp_core as core;
+pub use chirp_learn as learn;
+pub use chirp_mem as mem;
+pub use chirp_sim as sim;
+pub use chirp_tlb as tlb;
+pub use chirp_trace as trace;

@@ -1,0 +1,96 @@
+//! Smoke tests: every experiment driver runs end-to-end at tiny scale and
+//! renders non-empty output containing its key rows.
+
+use chirp_repro::sim::experiments::{
+    fig10_penalty, fig11_access_rate, fig1_efficiency, fig2_history, fig3_adaline,
+    fig6_ablation, fig7_mpki, fig8_speedup, fig9_table_size, opt_bound,
+};
+use chirp_repro::sim::RunnerConfig;
+use chirp_repro::trace::suite::{build_suite, SuiteConfig};
+
+fn tiny() -> (Vec<chirp_repro::trace::BenchmarkSpec>, RunnerConfig) {
+    (
+        build_suite(&SuiteConfig { benchmarks: 3 }),
+        RunnerConfig { instructions: 50_000, threads: 2, ..Default::default() },
+    )
+}
+
+#[test]
+fn fig1_smoke() {
+    let (suite, config) = tiny();
+    let r = fig1_efficiency::run(&suite, &config);
+    assert_eq!(r.benchmarks.len(), 3);
+    assert!(fig1_efficiency::render(&r).contains("efficiency"));
+}
+
+#[test]
+fn fig2_smoke() {
+    let (suite, config) = tiny();
+    let r = fig2_history::run(&suite, &config, &[8, 16]);
+    assert_eq!(r.pc_only.len(), 2);
+    assert!(fig2_history::render(&r).contains("PC-only"));
+}
+
+#[test]
+fn fig3_smoke() {
+    let (suite, config) = tiny();
+    let r = fig3_adaline::run(&suite, &config);
+    assert_eq!(r.profiles.len(), 3);
+    assert!(fig3_adaline::render(&r).contains("bit"));
+}
+
+#[test]
+fn fig6_smoke() {
+    let (suite, config) = tiny();
+    let r = fig6_ablation::run(&suite, &config);
+    assert!(r.rungs.iter().any(|(n, _)| n == "chirp"));
+    assert!(fig6_ablation::render(&r).contains("reduction"));
+}
+
+#[test]
+fn fig7_smoke() {
+    let (suite, config) = tiny();
+    let r = fig7_mpki::run(&suite, &config);
+    assert_eq!(r.series.len(), 6);
+    assert!(fig7_mpki::render(&r).contains("mean MPKI"));
+}
+
+#[test]
+fn fig8_smoke() {
+    let (suite, config) = tiny();
+    let r = fig8_speedup::run(&suite, &config);
+    assert_eq!(r.series.len(), 5, "all policies but LRU");
+    assert!(fig8_speedup::render(&r).contains("150"));
+}
+
+#[test]
+fn fig9_smoke() {
+    let (suite, config) = tiny();
+    let r = fig9_table_size::run(&suite, &config);
+    assert_eq!(r.points.len(), 7);
+    assert!(fig9_table_size::render(&r).contains("128B"));
+}
+
+#[test]
+fn fig10_smoke() {
+    let (suite, config) = tiny();
+    let r = fig10_penalty::run(&suite, &config, &[20, 150]);
+    assert_eq!(r.penalties, vec![20, 150]);
+    assert!(fig10_penalty::render(&r).contains("penalty"));
+}
+
+#[test]
+fn fig11_smoke() {
+    let (suite, config) = tiny();
+    let r = fig11_access_rate::run(&suite, &config);
+    assert_eq!(r.series.len(), 3, "ship, ghrp, chirp");
+    assert!(fig11_access_rate::render(&r).contains("table"));
+}
+
+#[test]
+fn opt_bound_smoke() {
+    let (suite, config) = tiny();
+    let r = opt_bound::run(&suite, &config);
+    assert_eq!(r.rows.len(), 3);
+    assert!(opt_bound::render(&r).contains("OPT"));
+}

@@ -1,0 +1,152 @@
+//! Property-based tests over the replacement policies: under arbitrary
+//! access/branch streams, every policy keeps the L2 TLB's structural
+//! invariants, and the bookkeeping identities hold.
+
+use chirp_repro::core::{Chirp, ChirpConfig};
+use chirp_repro::tlb::policies::{
+    Ghrp, GhrpConfig, Lru, OptOracle, OptPolicy, RandomPolicy, ShipConfig, ShipTlb, Srrip,
+};
+use chirp_repro::tlb::{L2Tlb, TlbGeometry, TlbReplacementPolicy, TranslationKind};
+use chirp_repro::trace::BranchClass;
+use proptest::prelude::*;
+
+fn geometry() -> TlbGeometry {
+    TlbGeometry { entries: 64, ways: 4 }
+}
+
+fn policies() -> Vec<Box<dyn TlbReplacementPolicy>> {
+    let geom = geometry();
+    vec![
+        Box::new(Lru::new(geom)),
+        Box::new(RandomPolicy::new(geom, 42)),
+        Box::new(Srrip::new(geom)),
+        Box::new(ShipTlb::new(geom, ShipConfig::default())),
+        Box::new(Ghrp::new(geom, GhrpConfig::default())),
+        Box::new(Chirp::new(geom, ChirpConfig::default())),
+    ]
+}
+
+/// One fuzzed event: an access or a retired branch.
+#[derive(Debug, Clone)]
+enum Event {
+    Access { pc: u64, vpn: u64, data: bool },
+    Branch { pc: u64, class: u8, taken: bool },
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0u64..1 << 20, 0u64..256, any::<bool>())
+            .prop_map(|(pc, vpn, data)| Event::Access { pc: pc << 2, vpn, data }),
+        (0u64..1 << 20, 0u8..3, any::<bool>())
+            .prop_map(|(pc, class, taken)| Event::Branch { pc: pc << 2, class, taken }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_policies_survive_arbitrary_event_streams(
+        events in proptest::collection::vec(event_strategy(), 1..600)
+    ) {
+        for policy in policies() {
+            let name = policy.name().to_string();
+            let mut tlb = L2Tlb::new(geometry(), policy);
+            let mut expected_accesses = 0u64;
+            for ev in &events {
+                match ev {
+                    Event::Access { pc, vpn, data } => {
+                        let kind = if *data {
+                            TranslationKind::Data
+                        } else {
+                            TranslationKind::Instruction
+                        };
+                        let out = tlb.access(*pc, *vpn, kind);
+                        expected_accesses += 1;
+                        prop_assert!(out.way < geometry().ways, "{name}: way in range");
+                        prop_assert!(tlb.probe(*vpn), "{name}: accessed vpn resident");
+                        if let Some(evicted) = out.evicted {
+                            prop_assert!(
+                                evicted == *vpn || !tlb.probe(evicted) ||
+                                // The evicted vpn may alias another set's
+                                // resident copy only if sets differ — with
+                                // set-indexed vpns it must be gone.
+                                geometry().set_of(evicted) != geometry().set_of(*vpn),
+                                "{name}: evicted vpn must leave its set"
+                            );
+                        }
+                    }
+                    Event::Branch { pc, class, taken } => {
+                        let class = match class {
+                            0 => BranchClass::Conditional,
+                            1 => BranchClass::UnconditionalIndirect,
+                            _ => BranchClass::UnconditionalDirect,
+                        };
+                        tlb.on_branch(*pc, class, *taken);
+                    }
+                }
+            }
+            let stats = tlb.stats();
+            prop_assert_eq!(stats.accesses(), expected_accesses, "{}: access count", name);
+            let eff = tlb.efficiency();
+            prop_assert!((0.0..=1.0).contains(&eff), "{}: efficiency {} in range", name, eff);
+        }
+    }
+
+    #[test]
+    fn chirp_eviction_accounting_is_exact(
+        vpns in proptest::collection::vec(0u64..128, 50..800)
+    ) {
+        let geom = geometry();
+        let mut tlb = L2Tlb::new(geom, Box::new(Chirp::new(geom, ChirpConfig::default())));
+        for (i, vpn) in vpns.iter().enumerate() {
+            tlb.access((i as u64) << 2, *vpn, TranslationKind::Data);
+        }
+        let stats = tlb.stats();
+        let chirp = tlb
+            .policy()
+            .as_any()
+            .and_then(|a| a.downcast_ref::<Chirp>())
+            .expect("chirp downcast");
+        let counters = chirp.counters();
+        // Every miss either fills a cold way or evicts via exactly one of
+        // the two victim paths.
+        prop_assert_eq!(
+            stats.misses,
+            stats.cold_fills + counters.dead_evictions + counters.lru_evictions
+        );
+    }
+
+    #[test]
+    fn opt_never_misses_more_than_lru(
+        vpns in proptest::collection::vec(0u64..64, 50..500)
+    ) {
+        let geom = TlbGeometry { entries: 16, ways: 4 };
+        let run = |policy: Box<dyn TlbReplacementPolicy>| {
+            let mut tlb = L2Tlb::new(geom, policy);
+            for vpn in &vpns {
+                tlb.access(0x400000, *vpn, TranslationKind::Data);
+            }
+            tlb.stats().misses
+        };
+        let lru = run(Box::new(Lru::new(geom)));
+        let oracle = OptOracle::from_vpns(vpns.iter().copied());
+        let opt = run(Box::new(OptPolicy::new(geom, oracle)));
+        prop_assert!(opt <= lru, "OPT ({opt}) must not exceed LRU ({lru})");
+    }
+
+    #[test]
+    fn identical_streams_give_identical_chirp_state(
+        vpns in proptest::collection::vec(0u64..256, 10..300)
+    ) {
+        let geom = geometry();
+        let run = || {
+            let mut tlb = L2Tlb::new(geom, Box::new(Chirp::new(geom, ChirpConfig::default())));
+            for (i, vpn) in vpns.iter().enumerate() {
+                tlb.access((i as u64 % 97) << 2, *vpn, TranslationKind::Data);
+            }
+            (tlb.stats(), tlb.policy().prediction_table_accesses())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,116 @@
+//! Cross-crate substrate integration: traces drive the TLB hierarchy,
+//! caches and branch unit together, and the pieces agree on invariants.
+
+use chirp_repro::branch::{BranchConfig, BranchUnit};
+use chirp_repro::mem::{HierarchyConfig, MemoryHierarchy};
+use chirp_repro::tlb::policies::{Ghrp, GhrpConfig, Lru, RandomPolicy, ShipConfig, ShipTlb, Srrip};
+use chirp_repro::tlb::{
+    L2Tlb, TlbGeometry, TlbHierarchy, TlbHierarchyConfig, TlbReplacementPolicy, TranslationKind,
+};
+use chirp_repro::trace::gen::{ContextCopy, WebServe, WorkloadGen};
+use chirp_repro::trace::{read_trace, vpn, write_trace, TraceStats};
+
+#[test]
+fn every_generated_suite_trace_roundtrips_through_the_codec() {
+    use chirp_repro::trace::suite::{build_suite, SuiteConfig};
+    for bench in build_suite(&SuiteConfig { benchmarks: 21 }) {
+        let trace = bench.generate(10_000);
+        let decoded = read_trace(&write_trace(&trace)).expect("decode");
+        assert_eq!(decoded, trace, "{} must roundtrip", bench.name);
+    }
+}
+
+#[test]
+fn l1_filtering_reduces_l2_traffic() {
+    let trace = ContextCopy::default().generate(150_000, 0);
+    let config = TlbHierarchyConfig::default();
+    let mut tlbs = TlbHierarchy::new(config, Box::new(Lru::new(config.l2)));
+    for r in &trace {
+        tlbs.translate(r.pc, vpn(r.pc), TranslationKind::Instruction);
+        if r.kind.is_memory() {
+            tlbs.translate(r.pc, vpn(r.effective_address), TranslationKind::Data);
+        }
+    }
+    let (i_hits, i_misses, d_hits, d_misses) = tlbs.l1_stats();
+    let l2 = tlbs.l2().stats();
+    assert_eq!(l2.accesses(), i_misses + d_misses, "L2 sees exactly the L1 misses");
+    assert!(i_hits > i_misses * 10, "code pages are L1-resident most of the time");
+    assert!(d_hits > 0);
+    assert_eq!(tlbs.walker().walks(), l2.misses, "every L2 miss walks the page table");
+}
+
+#[test]
+fn all_policies_keep_the_tlb_consistent_under_load() {
+    let trace = WebServe::default().generate(80_000, 5);
+    let geom = TlbGeometry { entries: 128, ways: 8 };
+    let policies: Vec<Box<dyn TlbReplacementPolicy>> = vec![
+        Box::new(Lru::new(geom)),
+        Box::new(RandomPolicy::new(geom, 9)),
+        Box::new(Srrip::new(geom)),
+        Box::new(ShipTlb::new(geom, ShipConfig::default())),
+        Box::new(Ghrp::new(geom, GhrpConfig::default())),
+        Box::new(chirp_repro::core::Chirp::new(geom, chirp_repro::core::ChirpConfig::default())),
+    ];
+    for policy in policies {
+        let name = policy.name().to_string();
+        let mut tlb = L2Tlb::new(geom, policy);
+        for r in &trace {
+            if let Some(class) = r.kind.branch_class() {
+                tlb.on_branch(r.pc, class, r.taken);
+            }
+            let out = tlb.access(r.pc, vpn(r.pc), TranslationKind::Instruction);
+            // The filled/hit way must now contain the vpn.
+            assert!(tlb.probe(vpn(r.pc)), "{name}: accessed vpn must be resident");
+            assert!(out.way < geom.ways);
+        }
+        let stats = tlb.stats();
+        assert_eq!(
+            stats.accesses() as usize,
+            trace.len(),
+            "{name}: one access per instruction"
+        );
+        assert!(tlb.efficiency() >= 0.0 && tlb.efficiency() <= 1.0, "{name}: efficiency in range");
+    }
+}
+
+#[test]
+fn branch_unit_learns_generated_control_flow() {
+    let trace = ContextCopy::default().generate(120_000, 3);
+    let mut bu = BranchUnit::new(BranchConfig::default());
+    for r in &trace {
+        bu.observe(r);
+    }
+    let stats = bu.stats();
+    let total = stats.correct + stats.mispredicted;
+    assert!(total > 10_000, "workload must contain branches");
+    let accuracy = stats.correct as f64 / total as f64;
+    assert!(
+        accuracy > 0.75,
+        "loop-structured control flow must be predictable, got {accuracy:.3}"
+    );
+}
+
+#[test]
+fn cache_hierarchy_filters_hot_code() {
+    let trace = ContextCopy::default().generate(100_000, 1);
+    let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+    for r in &trace {
+        mem.fetch(r.pc);
+    }
+    let (l1i, _, _, _) = mem.stats();
+    assert!(
+        l1i.miss_ratio() < 0.01,
+        "tiny code footprint must fit L1i, miss ratio {}",
+        l1i.miss_ratio()
+    );
+}
+
+#[test]
+fn trace_statistics_are_consistent_with_simulation() {
+    let trace = ContextCopy::default().generate(50_000, 0);
+    let stats = TraceStats::from_trace(&trace);
+    assert_eq!(stats.instructions, 50_000);
+    assert!(stats.memory_ratio() > 0.2 && stats.memory_ratio() < 0.5);
+    assert!(stats.branch_ratio() > 0.3);
+    assert!(stats.data_pages > 500, "workload touches many pages");
+}
