@@ -7,8 +7,8 @@
 //! not hours.
 
 use chirp_sim::experiments::{
-    fig10_penalty, fig11_access_rate, fig1_efficiency, fig2_history, fig3_adaline,
-    fig6_ablation, fig7_mpki, fig8_speedup, fig9_table_size, opt_bound,
+    fig10_penalty, fig11_access_rate, fig1_efficiency, fig2_history, fig3_adaline, fig6_ablation,
+    fig7_mpki, fig8_speedup, fig9_table_size, opt_bound,
 };
 use chirp_sim::RunnerConfig;
 use chirp_trace::suite::{build_suite, SuiteConfig};
@@ -24,9 +24,7 @@ fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
 
-    group.bench_function("fig1_efficiency", |b| {
-        b.iter(|| fig1_efficiency::run(&suite, &config))
-    });
+    group.bench_function("fig1_efficiency", |b| b.iter(|| fig1_efficiency::run(&suite, &config)));
     group.bench_function("fig2_history_length", |b| {
         b.iter(|| fig2_history::run(&suite, &config, &[8, 16]))
     });
@@ -34,9 +32,7 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("fig6_ablation", |b| b.iter(|| fig6_ablation::run(&suite, &config)));
     group.bench_function("fig7_mpki", |b| b.iter(|| fig7_mpki::run(&suite, &config)));
     group.bench_function("fig8_speedup", |b| b.iter(|| fig8_speedup::run(&suite, &config)));
-    group.bench_function("fig9_table_size", |b| {
-        b.iter(|| fig9_table_size::run(&suite, &config))
-    });
+    group.bench_function("fig9_table_size", |b| b.iter(|| fig9_table_size::run(&suite, &config)));
     group.bench_function("fig10_penalty_sweep", |b| {
         b.iter(|| fig10_penalty::run(&suite, &config, &[20, 150, 340]))
     });

@@ -6,15 +6,14 @@ use chirp_mem::{HierarchyConfig, MemoryHierarchy};
 use chirp_tlb::policies::Lru;
 use chirp_tlb::{TlbHierarchy, TlbHierarchyConfig, TranslationKind};
 use chirp_trace::gen::{ContextCopy, ScanIndex, WebServe, WorkloadGen};
-use chirp_trace::{read_trace, write_trace, vpn};
+use chirp_trace::{read_trace, vpn, write_trace};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_generation_100k");
     group.throughput(Throughput::Elements(100_000));
-    group.bench_function("context_copy", |b| {
-        b.iter(|| ContextCopy::default().generate(100_000, 1))
-    });
+    group
+        .bench_function("context_copy", |b| b.iter(|| ContextCopy::default().generate(100_000, 1)));
     group.bench_function("scan_index", |b| b.iter(|| ScanIndex::default().generate(100_000, 1)));
     group.bench_function("web_serve", |b| b.iter(|| WebServe::default().generate(100_000, 1)));
     group.finish();

@@ -4,18 +4,14 @@
 use chirp_bench::HarnessArgs;
 use chirp_sim::report::Table;
 use chirp_sim::runner::group_by_benchmark;
-use chirp_sim::{run_suite, PolicyKind, RunnerConfig};
+use chirp_sim::{run_suite, PolicyKind};
 use chirp_trace::suite::{build_suite, SuiteConfig};
 
 fn main() {
     let args = HarnessArgs::from_env();
     let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
     let policies = PolicyKind::paper_lineup();
-    let config = RunnerConfig {
-        instructions: args.instructions,
-        threads: args.threads,
-        ..Default::default()
-    };
+    let config = args.runner_config();
     let t0 = std::time::Instant::now();
     let runs = run_suite(&suite, &policies, &config);
     eprintln!(

@@ -63,11 +63,7 @@ fn main() {
             for i in 0..table.len() {
                 hist[table.peek(i) as usize] += 1;
             }
-            println!(
-                "           counters {:?}  {:?}",
-                hist,
-                chirp.counters()
-            );
+            println!("           counters {:?}  {:?}", hist, chirp.counters());
         }
     }
 }

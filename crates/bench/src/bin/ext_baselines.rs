@@ -5,7 +5,7 @@
 use chirp_bench::HarnessArgs;
 use chirp_sim::report::Table;
 use chirp_sim::runner::group_by_benchmark;
-use chirp_sim::{run_suite, PolicyKind, RunnerConfig};
+use chirp_sim::{run_suite, PolicyKind};
 use chirp_trace::suite::{build_suite, SuiteConfig};
 use std::path::Path;
 
@@ -15,11 +15,7 @@ fn main() {
     let mut policies = PolicyKind::paper_lineup();
     policies.push(PolicyKind::Drrip);
     policies.push(PolicyKind::PerceptronReuse);
-    let config = RunnerConfig {
-        instructions: args.instructions,
-        threads: args.threads,
-        ..Default::default()
-    };
+    let config = args.runner_config();
     let runs = run_suite(&suite, &policies, &config);
     let grouped = group_by_benchmark(&runs, policies.len());
 

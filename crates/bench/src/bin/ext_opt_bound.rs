@@ -4,7 +4,6 @@
 use chirp_bench::HarnessArgs;
 use chirp_sim::experiments::opt_bound;
 use chirp_sim::report::Table;
-use chirp_sim::RunnerConfig;
 use chirp_trace::suite::{build_suite, SuiteConfig};
 use std::path::Path;
 
@@ -16,11 +15,7 @@ fn main() {
         eprintln!("note: OPT bound capped at 32 benchmarks");
     }
     let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
-    let config = RunnerConfig {
-        instructions: args.instructions,
-        threads: args.threads,
-        ..Default::default()
-    };
+    let config = args.runner_config();
     let result = opt_bound::run(&suite, &config);
     println!("{}", opt_bound::render(&result));
 

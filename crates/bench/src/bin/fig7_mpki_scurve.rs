@@ -4,18 +4,13 @@
 use chirp_bench::HarnessArgs;
 use chirp_sim::experiments::fig7_mpki;
 use chirp_sim::report::Table;
-use chirp_sim::RunnerConfig;
 use chirp_trace::suite::{build_suite, SuiteConfig};
 use std::path::Path;
 
 fn main() {
     let args = HarnessArgs::from_env();
     let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
-    let config = RunnerConfig {
-        instructions: args.instructions,
-        threads: args.threads,
-        ..Default::default()
-    };
+    let config = args.runner_config();
     let result = fig7_mpki::run(&suite, &config);
     println!("{}", fig7_mpki::render(&result));
 

@@ -6,20 +6,16 @@
 
 use chirp_bench::HarnessArgs;
 use chirp_sim::experiments::{
-    fig10_penalty, fig11_access_rate, fig1_efficiency, fig2_history, fig3_adaline,
-    fig6_ablation, fig7_mpki, fig8_speedup, fig9_table_size,
+    fig10_penalty, fig11_access_rate, fig1_efficiency, fig2_history, fig3_adaline, fig6_ablation,
+    fig7_mpki, fig8_speedup, fig9_table_size,
 };
-use chirp_sim::{RunnerConfig, SimConfig};
+use chirp_sim::SimConfig;
 use chirp_trace::suite::{build_suite, SuiteConfig};
 
 fn main() {
     let args = HarnessArgs::from_env();
     let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
-    let config = RunnerConfig {
-        instructions: args.instructions,
-        threads: args.threads,
-        ..Default::default()
-    };
+    let config = args.runner_config();
     let t0 = std::time::Instant::now();
 
     println!("==== Table II ====\n{}", SimConfig::default().render_table_ii());
@@ -54,10 +50,7 @@ fn main() {
     );
     drop(runs);
     section("Figure 6");
-    println!(
-        "==== Figure 6 ====\n{}",
-        fig6_ablation::render(&fig6_ablation::run(&suite, &config))
-    );
+    println!("==== Figure 6 ====\n{}", fig6_ablation::render(&fig6_ablation::run(&suite, &config)));
     section("Figure 9");
     println!(
         "==== Figure 9 ====\n{}",
@@ -66,8 +59,7 @@ fn main() {
 
     // The sweeps are the heavy ones: run them on an even ~64-benchmark
     // sample of the suite.
-    let small: Vec<_> =
-        suite.iter().step_by((suite.len() / 64).max(1)).cloned().collect();
+    let small: Vec<_> = suite.iter().step_by((suite.len() / 64).max(1)).cloned().collect();
     section("Figure 2 (subset)");
     println!(
         "==== Figure 2 (subset of {} benchmarks) ====\n{}",

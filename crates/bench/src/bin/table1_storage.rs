@@ -10,7 +10,8 @@ fn main() {
     let geom = TlbGeometry::default();
     println!("Table I: storage overhead of CHiRP for a 1024-entry, 8-way L2 TLB, 4KB pages\n");
 
-    for (label, entries) in [("128 B counters", 512usize), ("1 KB counters (main)", 4096), ("8 KB counters", 32768)]
+    for (label, entries) in
+        [("128 B counters", 512usize), ("1 KB counters (main)", 4096), ("8 KB counters", 32768)]
     {
         let config = ChirpConfig { table_entries: entries, ..Default::default() };
         println!("--- {label} ---");
@@ -31,7 +32,5 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!(
-        "CHiRP uses a single prediction table; GHRP needs three (paper VI-H: ~3x reduction)."
-    );
+    println!("CHiRP uses a single prediction table; GHRP needs three (paper VI-H: ~3x reduction).");
 }

@@ -1,20 +1,32 @@
 //! Trace utility: generate suite benchmarks to disk in the compact binary
-//! format, inspect saved traces, and print statistics.
+//! format, inspect saved traces, print statistics, and manage the
+//! content-addressed trace archive inside a `chirp-store` directory.
 //!
 //! ```text
 //! trace_tool list [N]                 list the first N suite benchmarks
 //! trace_tool gen <index> <len> <out>  generate suite benchmark #index
 //! trace_tool stats <file>             decode a trace and print statistics
 //! trace_tool head <file> [N]          print the first N records
+//! trace_tool pack <store> [N] [len]   materialise an N-benchmark suite
+//!                                     into the archive under <store>
+//! trace_tool verify <store>           checksum-audit the archive
 //! ```
 
-use chirp_trace::suite::{build_suite, SuiteConfig};
+use chirp_store::{ArchiveOutcome, TraceArchive};
+use chirp_trace::suite::{build_suite, nth_benchmark, SuiteConfig};
 use chirp_trace::{read_trace, write_trace, TraceStats};
+use std::path::Path;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  trace_tool list [N]\n  trace_tool gen <index> <len> <out.chrp>\n  \
-         trace_tool stats <file.chrp>\n  trace_tool head <file.chrp> [N]"
+         trace_tool stats <file.chrp>\n  trace_tool head <file.chrp> [N]\n  \
+         trace_tool pack <store-dir> [N] [len]   (defaults: N=96, len=1_000_000)\n  \
+         trace_tool verify <store-dir>\n\n\
+         `pack` materialises every benchmark of an N-benchmark suite into the\n\
+         content-addressed archive under <store-dir>/traces, skipping files\n\
+         that are already present and valid. `verify` re-checksums every\n\
+         archived trace and exits non-zero if any file is corrupt."
     );
     std::process::exit(2);
 }
@@ -30,14 +42,13 @@ fn main() {
             }
         }
         Some("gen") => {
-            let (Some(idx), Some(len), Some(out)) = (args.get(1), args.get(2), args.get(3))
-            else {
+            let (Some(idx), Some(len), Some(out)) = (args.get(1), args.get(2), args.get(3)) else {
                 usage()
             };
             let idx: usize = idx.parse().unwrap_or_else(|_| usage());
             let len: usize = len.replace('_', "").parse().unwrap_or_else(|_| usage());
-            let suite = build_suite(&SuiteConfig { benchmarks: idx + 1 });
-            let bench = suite.last().expect("non-empty suite");
+            let bench = nth_benchmark(&SuiteConfig { benchmarks: idx + 1 }, idx)
+                .expect("index within the suite it defines");
             let trace = bench.generate(len);
             let bytes = write_trace(&trace);
             std::fs::write(out, &bytes).expect("write trace file");
@@ -72,6 +83,48 @@ fn main() {
             let trace = read_trace(&bytes).expect("decode trace");
             for r in trace.iter().take(n) {
                 println!("{r:x?}");
+            }
+        }
+        Some("pack") => {
+            let Some(store) = args.get(1) else { usage() };
+            let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(96);
+            let len: usize =
+                args.get(3).and_then(|s| s.replace('_', "").parse().ok()).unwrap_or(1_000_000);
+            let suite = build_suite(&SuiteConfig { benchmarks: n });
+            let mut archive = TraceArchive::open(Path::new(store)).expect("open trace archive");
+            for (i, bench) in suite.iter().enumerate() {
+                let outcome = archive.pack(bench, len).expect("archive trace");
+                let tag = match outcome {
+                    ArchiveOutcome::Hit => "ok     ",
+                    ArchiveOutcome::MissGenerated => "packed ",
+                    ArchiveOutcome::CorruptRegenerated => "healed ",
+                };
+                println!("{i:>4}  {tag} {}", bench.name);
+            }
+            let s = archive.stats();
+            println!(
+                "{} traces: {} already valid, {} packed, {} healed",
+                suite.len(),
+                s.hits,
+                s.misses,
+                s.corrupt_regenerated
+            );
+        }
+        Some("verify") => {
+            let Some(store) = args.get(1) else { usage() };
+            let archive = TraceArchive::open(Path::new(store)).expect("open trace archive");
+            let (valid, corrupt) = archive.verify();
+            println!(
+                "{} archived traces: {} valid, {} corrupt",
+                archive.len(),
+                valid,
+                corrupt.len()
+            );
+            for key in &corrupt {
+                println!("corrupt: {}", archive.trace_path(*key).display());
+            }
+            if !corrupt.is_empty() {
+                std::process::exit(1);
             }
         }
         _ => usage(),

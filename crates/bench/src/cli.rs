@@ -6,8 +6,13 @@
 //! --benchmarks N      number of suite benchmarks (default 96)
 //! --instructions M    instructions simulated per benchmark (default 1_000_000)
 //! --threads T         worker threads (default: available parallelism)
+//! --store DIR         chirp-store directory: archive traces, skip runs
+//!                     whose results are already in the ledger
 //! --full              shorthand for the paper-scale run (870 benchmarks)
 //! ```
+
+use chirp_sim::RunnerConfig;
+use std::path::PathBuf;
 
 /// Parsed harness arguments.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,6 +23,8 @@ pub struct HarnessArgs {
     pub instructions: usize,
     /// Worker threads.
     pub threads: usize,
+    /// Optional `chirp-store` directory for incremental execution.
+    pub store: Option<PathBuf>,
 }
 
 impl Default for HarnessArgs {
@@ -26,6 +33,7 @@ impl Default for HarnessArgs {
             benchmarks: 96,
             instructions: 1_000_000,
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            store: None,
         }
     }
 }
@@ -44,15 +52,18 @@ impl HarnessArgs {
                 "--benchmarks" => out.benchmarks = next_num(&mut it, &arg)?,
                 "--instructions" => out.instructions = next_num(&mut it, &arg)?,
                 "--threads" => out.threads = next_num(&mut it, &arg)?,
+                "--store" => {
+                    let dir = it.next().ok_or_else(|| format!("{arg} needs a directory"))?;
+                    out.store = Some(PathBuf::from(dir));
+                }
                 "--full" => {
                     out.benchmarks = 870;
                     out.instructions = 10_000_000;
                 }
                 "--help" | "-h" => {
-                    return Err(
-                        "usage: [--benchmarks N] [--instructions M] [--threads T] [--full]"
-                            .to_string(),
-                    )
+                    return Err("usage: [--benchmarks N] [--instructions M] [--threads T] \
+                         [--store DIR] [--full]"
+                        .to_string())
                 }
                 other => return Err(format!("unknown flag: {other}")),
             }
@@ -72,6 +83,17 @@ impl HarnessArgs {
                 eprintln!("{msg}");
                 std::process::exit(2);
             }
+        }
+    }
+
+    /// The [`RunnerConfig`] these arguments describe — the single place
+    /// that maps harness flags (including `--store`) onto the runner.
+    pub fn runner_config(&self) -> RunnerConfig {
+        RunnerConfig {
+            instructions: self.instructions,
+            threads: self.threads,
+            store: self.store.clone(),
+            ..Default::default()
         }
     }
 }
@@ -94,13 +116,14 @@ mod tests {
         let a = parse(&[]).unwrap();
         assert_eq!(a.benchmarks, 96);
         assert_eq!(a.instructions, 1_000_000);
+        assert_eq!(a.store, None);
     }
 
     #[test]
     fn parses_flags() {
-        let a = parse(&["--benchmarks", "10", "--instructions", "5_000", "--threads", "2"])
-            .unwrap();
-        assert_eq!(a, HarnessArgs { benchmarks: 10, instructions: 5_000, threads: 2 });
+        let a =
+            parse(&["--benchmarks", "10", "--instructions", "5_000", "--threads", "2"]).unwrap();
+        assert_eq!(a, HarnessArgs { benchmarks: 10, instructions: 5_000, threads: 2, store: None });
     }
 
     #[test]
@@ -108,6 +131,17 @@ mod tests {
         let a = parse(&["--full"]).unwrap();
         assert_eq!(a.benchmarks, 870);
         assert_eq!(a.instructions, 10_000_000);
+    }
+
+    #[test]
+    fn store_flag_reaches_runner_config() {
+        let a = parse(&["--store", "results/store"]).unwrap();
+        assert_eq!(a.store.as_deref(), Some(std::path::Path::new("results/store")));
+        let config = a.runner_config();
+        assert_eq!(config.store, a.store);
+        assert_eq!(config.instructions, a.instructions);
+        assert_eq!(config.threads, a.threads);
+        assert!(parse(&["--store"]).is_err(), "--store requires a directory");
     }
 
     #[test]

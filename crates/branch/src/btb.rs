@@ -78,8 +78,7 @@ impl Btb {
                 return;
             }
         }
-        let victim =
-            (0..set.tags.len()).find(|&w| !set.valid[w]).unwrap_or_else(|| set.lru.lru());
+        let victim = (0..set.tags.len()).find(|&w| !set.valid[w]).unwrap_or_else(|| set.lru.lru());
         set.tags[victim] = tag;
         set.targets[victim] = target;
         set.valid[victim] = true;
@@ -110,7 +109,7 @@ mod tests {
     #[test]
     fn capacity_eviction() {
         let mut btb = Btb::new(8, 2); // 4 sets x 2 ways
-        // Fill set 0 (pcs whose (pc>>2) % 4 == 0) with 3 branches.
+                                      // Fill set 0 (pcs whose (pc>>2) % 4 == 0) with 3 branches.
         btb.update(0x00, 1);
         btb.update(0x10, 2);
         btb.update(0x20, 3); // evicts 0x00 (LRU)

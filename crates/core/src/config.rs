@@ -77,7 +77,10 @@ impl ChirpConfig {
     /// Returns a message describing the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         if !self.table_entries.is_power_of_two() {
-            return Err(format!("table_entries must be a power of two, got {}", self.table_entries));
+            return Err(format!(
+                "table_entries must be a power of two, got {}",
+                self.table_entries
+            ));
         }
         if self.counter_bits == 0 || self.counter_bits > 8 {
             return Err(format!("counter_bits must be in 1..=8, got {}", self.counter_bits));

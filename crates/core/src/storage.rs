@@ -93,10 +93,7 @@ pub fn storage_report(geometry: TlbGeometry, config: &ChirpConfig) -> StorageRep
         },
         StorageRow {
             component: "Counters".into(),
-            detail: format!(
-                "{} x {}-bit",
-                config.table_entries, config.counter_bits
-            ),
+            detail: format!("{} x {}-bit", config.table_entries, config.counter_bits),
             bits: table_bits,
         },
     ];

@@ -37,11 +37,7 @@ impl ChirpVariant {
     pub fn cond_no_zeros() -> Self {
         ChirpVariant {
             name: "chirp+cond-nozeros".into(),
-            config: ChirpConfig {
-                use_uncond: false,
-                inject_zeros: false,
-                ..Default::default()
-            },
+            config: ChirpConfig { use_uncond: false, inject_zeros: false, ..Default::default() },
         }
     }
 
@@ -88,10 +84,7 @@ impl ChirpVariant {
     /// branch histories; lengths without branches may exceed the paper's 16.
     pub fn with_path_length(length: u32, with_branches: bool) -> Self {
         ChirpVariant {
-            name: format!(
-                "chirp-h{length}{}",
-                if with_branches { "+br" } else { "-pconly" }
-            ),
+            name: format!("chirp-h{length}{}", if with_branches { "+br" } else { "-pconly" }),
             config: ChirpConfig {
                 path_length: length,
                 use_cond: with_branches,

@@ -79,7 +79,8 @@ mod tests {
     fn learns_a_linearly_separable_rule() {
         let mut a = Adaline::new(2, 0.05, 0.0);
         // Rule: class = sign(x0).
-        let data = [([1.0, 1.0], 1.0), ([1.0, -1.0], 1.0), ([-1.0, 1.0], -1.0), ([-1.0, -1.0], -1.0)];
+        let data =
+            [([1.0, 1.0], 1.0), ([1.0, -1.0], 1.0), ([-1.0, 1.0], -1.0), ([-1.0, -1.0], -1.0)];
         for _ in 0..200 {
             for (x, d) in &data {
                 a.train(x, *d);
@@ -102,11 +103,7 @@ mod tests {
             a.train(&x, x0);
         }
         assert!(a.weights()[0] > 0.2, "informative weight survives: {:?}", a.weights());
-        assert!(
-            a.weights()[2].abs() < 0.05,
-            "uninformative weight shrinks: {:?}",
-            a.weights()
-        );
+        assert!(a.weights()[2].abs() < 0.05, "uninformative weight shrinks: {:?}", a.weights());
     }
 
     #[test]

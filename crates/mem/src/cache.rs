@@ -163,12 +163,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_sets_rejected() {
-        let _ = Cache::new(CacheConfig {
-            size_bytes: 3 * 64,
-            ways: 1,
-            line_bytes: 64,
-            hit_latency: 1,
-        });
+        let _ =
+            Cache::new(CacheConfig { size_bytes: 3 * 64, ways: 1, line_bytes: 64, hit_latency: 1 });
     }
 
     proptest! {

@@ -85,10 +85,7 @@ impl MemoryHierarchy {
             return l1_latency + self.l2.config().hit_latency + self.l3.config().hit_latency;
         }
         self.dram_accesses += 1;
-        l1_latency
-            + self.l2.config().hit_latency
-            + self.l3.config().hit_latency
-            + self.dram_latency
+        l1_latency + self.l2.config().hit_latency + self.l3.config().hit_latency + self.dram_latency
     }
 
     /// Per-level statistics: (l1i, l1d, l2, l3).

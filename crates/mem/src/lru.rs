@@ -56,10 +56,7 @@ impl LruStack {
     ///
     /// Panics if `way` is not tracked.
     pub fn position(&self, way: usize) -> usize {
-        self.order
-            .iter()
-            .position(|&w| w as usize == way)
-            .expect("way out of range for LruStack")
+        self.order.iter().position(|&w| w as usize == way).expect("way out of range for LruStack")
     }
 
     /// Iterates ways from MRU to LRU.

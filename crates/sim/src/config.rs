@@ -85,14 +85,8 @@ impl SimConfig {
                 self.branch.btb_entries, self.branch.mispredict_penalty
             ),
         );
-        row(
-            "L1 i-TLB",
-            format!("{} entry, {} way", self.tlb.l1i.entries, self.tlb.l1i.ways),
-        );
-        row(
-            "L1 d-TLB",
-            format!("{} entry, {} way", self.tlb.l1d.entries, self.tlb.l1d.ways),
-        );
+        row("L1 i-TLB", format!("{} entry, {} way", self.tlb.l1i.entries, self.tlb.l1i.ways));
+        row("L1 d-TLB", format!("{} entry, {} way", self.tlb.l1d.entries, self.tlb.l1d.ways));
         row(
             "L2 Unified TLB",
             format!(

@@ -88,9 +88,7 @@ pub fn run(
 /// Renders the sweep.
 pub fn render(result: &MixedPagesResult) -> String {
     let mut out = String::new();
-    out.push_str(
-        "Extension: mixed 4KB/2MB pages — miss ratio vs fragmentation (d-side stream)\n",
-    );
+    out.push_str("Extension: mixed 4KB/2MB pages — miss ratio vs fragmentation (d-side stream)\n");
     let mut table = Table::new([
         "fragmentation",
         "LRU miss%",

@@ -30,10 +30,8 @@ pub fn run(suite: &[BenchmarkSpec], config: &RunnerConfig) -> WrongPathResult {
     let pollutions = [0u32, 4, 8, 16];
     let mut policies = vec![PolicyKind::Lru];
     for &p in &pollutions {
-        policies.push(PolicyKind::Chirp(ChirpConfig {
-            wrong_path_pollution: p,
-            ..Default::default()
-        }));
+        policies
+            .push(PolicyKind::Chirp(ChirpConfig { wrong_path_pollution: p, ..Default::default() }));
     }
     let runs = run_suite(suite, &policies, config);
     let grouped = group_by_benchmark(&runs, policies.len());
@@ -60,8 +58,7 @@ pub fn render(result: &WrongPathResult) -> String {
     out.push_str(&format!("LRU mean MPKI: {:.3}\n", result.lru_mpki));
     let mut table = Table::new(["wrong-path events/mispredict", "mean MPKI", "reduction vs LRU"]);
     for (p, m, r) in &result.rows {
-        let label =
-            if *p == 0 { "0 (commit-time, paper)".to_string() } else { format!("{p}") };
+        let label = if *p == 0 { "0 (commit-time, paper)".to_string() } else { format!("{p}") };
         table.row([label, format!("{m:.3}"), format!("{:+.2}%", r * 100.0)]);
     }
     out.push_str(&table.render());

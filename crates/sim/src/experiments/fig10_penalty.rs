@@ -32,10 +32,8 @@ pub fn run(suite: &[BenchmarkSpec], config: &RunnerConfig, penalties: &[u64]) ->
         let runs = run_suite(suite, &policies, &cfg);
         let grouped = group_by_benchmark(&runs, policies.len());
         for p in 1..policies.len() {
-            let speedups: Vec<f64> = grouped
-                .iter()
-                .map(|g| g[p].result.speedup_over(&g[0].result))
-                .collect();
+            let speedups: Vec<f64> =
+                grouped.iter().map(|g| g[p].result.speedup_over(&g[0].result)).collect();
             series[p - 1].1.push(geomean_speedup(&speedups));
         }
     }
@@ -71,10 +69,7 @@ mod tests {
         let config = RunnerConfig { instructions: 120_000, threads: 4, ..Default::default() };
         let result = run(&suite, &config, &[20, 320]);
         let chirp = &result.series.iter().find(|(n, _)| n == "chirp").unwrap().1;
-        assert!(
-            chirp[1] > chirp[0],
-            "chirp speedup must grow with walk penalty: {chirp:?}"
-        );
+        assert!(chirp[1] > chirp[0], "chirp speedup must grow with walk penalty: {chirp:?}");
         assert!(render(&result).contains("320"));
     }
 }

@@ -39,10 +39,7 @@ pub fn from_runs(runs: &[BenchRun], policies: usize) -> Fig11Result {
         if !matches!(name.as_str(), "ship" | "ghrp" | "chirp") {
             continue;
         }
-        series.push((
-            name,
-            grouped.iter().map(|g| g[p].result.table_access_rate()).collect(),
-        ));
+        series.push((name, grouped.iter().map(|g| g[p].result.table_access_rate()).collect()));
     }
     let means = series.iter().map(|(n, v)| (n.clone(), mean(v))).collect();
     Fig11Result { series, means }
@@ -52,13 +49,8 @@ pub fn from_runs(runs: &[BenchRun], policies: usize) -> Fig11Result {
 pub fn render(result: &Fig11Result) -> String {
     let mut out = String::new();
     out.push_str("Figure 11: prediction-table accesses per L2 TLB access\n\n");
-    let hi = result
-        .series
-        .iter()
-        .flat_map(|(_, v)| v.iter())
-        .cloned()
-        .fold(0.0f64, f64::max)
-        .max(0.1);
+    let hi =
+        result.series.iter().flat_map(|(_, v)| v.iter()).cloned().fold(0.0f64, f64::max).max(0.1);
     for (name, values) in &result.series {
         out.push_str(&render_density(name, values, 0.0, hi, 20));
         out.push('\n');

@@ -52,8 +52,7 @@ pub fn from_runs(runs: &[BenchRun], policies: usize) -> Fig1Result {
     let mean_improvement = series
         .iter()
         .map(|(name, eff)| {
-            let deltas: Vec<f64> =
-                eff.iter().zip(lru).map(|(e, l)| (e - l) * 100.0).collect();
+            let deltas: Vec<f64> = eff.iter().zip(lru).map(|(e, l)| (e - l) * 100.0).collect();
             (name.clone(), mean(&deltas))
         })
         .collect();
@@ -63,7 +62,9 @@ pub fn from_runs(runs: &[BenchRun], policies: usize) -> Fig1Result {
 /// Renders the heat map as rows of shade characters plus the summary table.
 pub fn render(result: &Fig1Result) -> String {
     let mut out = String::new();
-    out.push_str("Figure 1: TLB efficiency heat map (rows: benchmarks low->high; cols: policies)\n");
+    out.push_str(
+        "Figure 1: TLB efficiency heat map (rows: benchmarks low->high; cols: policies)\n",
+    );
     let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
     let names: Vec<&str> = result.series.iter().map(|(n, _)| n.as_str()).collect();
     out.push_str(&format!("{:>32}  {}\n", "benchmark", names.join(" ")));
@@ -108,8 +109,7 @@ mod tests {
         let suite = build_suite(&SuiteConfig { benchmarks: 5 });
         let config = RunnerConfig { instructions: 150_000, threads: 4, ..Default::default() };
         let result = run(&suite, &config);
-        let chirp =
-            result.mean_improvement.iter().find(|(n, _)| n == "chirp").unwrap().1;
+        let chirp = result.mean_improvement.iter().find(|(n, _)| n == "chirp").unwrap().1;
         assert!(chirp >= 0.0, "chirp must not reduce mean efficiency, got {chirp:.3}pp");
         // LRU improvement over itself is identically zero.
         assert!(result.mean_improvement[0].1.abs() < 1e-12);

@@ -40,15 +40,12 @@ pub fn run(suite: &[BenchmarkSpec], config: &RunnerConfig, lengths: &[u32]) -> F
     let runs = run_suite(suite, &policies, config);
     let grouped = group_by_benchmark(&runs, policies.len());
     let geomean_for = |policy_idx: usize| {
-        let speedups: Vec<f64> = grouped
-            .iter()
-            .map(|g| g[policy_idx].result.speedup_over(&g[0].result))
-            .collect();
+        let speedups: Vec<f64> =
+            grouped.iter().map(|g| g[policy_idx].result.speedup_over(&g[0].result)).collect();
         geomean_speedup(&speedups)
     };
     let pc_only = (0..lengths.len()).map(|i| geomean_for(1 + i)).collect();
-    let with_branches =
-        (0..lengths.len()).map(|i| geomean_for(1 + lengths.len() + i)).collect();
+    let with_branches = (0..lengths.len()).map(|i| geomean_for(1 + lengths.len() + i)).collect();
     Fig2Result { lengths: lengths.to_vec(), pc_only, with_branches }
 }
 
@@ -80,8 +77,7 @@ mod tests {
         let result = run(&suite, &config, &[8, 16]);
         assert_eq!(result.lengths, vec![8, 16]);
         let best_pc = result.pc_only.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let best_br =
-            result.with_branches.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let best_br = result.with_branches.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(
             best_br >= best_pc - 1e-9,
             "branch history must help: pc-only {best_pc:.4} vs +branches {best_br:.4}"

@@ -8,9 +8,9 @@
 use crate::config::SimConfig;
 use crate::engine::Simulator;
 use crate::runner::RunnerConfig;
+use chirp_learn::{train_on_events, ReuseEvent, WeightProfile};
 use chirp_mem::LruStack;
 use chirp_tlb::{PolicyStorage, TlbAccess, TlbGeometry, TlbReplacementPolicy};
-use chirp_learn::{train_on_events, ReuseEvent, WeightProfile};
 use chirp_trace::suite::BenchmarkSpec;
 use serde::{Deserialize, Serialize};
 
@@ -181,11 +181,7 @@ mod tests {
         tlb.access(0x104, 0, TranslationKind::Data); // hit
         tlb.access(0x108, 2, TranslationKind::Data);
         tlb.access(0x10c, 4, TranslationKind::Data); // evicts vpn 0
-        let rec = tlb
-            .policy()
-            .as_any()
-            .and_then(|a| a.downcast_ref::<ReuseRecorder>())
-            .unwrap();
+        let rec = tlb.policy().as_any().and_then(|a| a.downcast_ref::<ReuseRecorder>()).unwrap();
         assert_eq!(rec.events().len(), 1);
         assert_eq!(rec.events()[0], ReuseEvent { pc: 0x100, reused: true });
     }

@@ -23,14 +23,8 @@ pub struct Fig6Result {
 
 /// Runs the ablation ladder.
 pub fn run(suite: &[BenchmarkSpec], config: &RunnerConfig) -> Fig6Result {
-    let mut policies = vec![
-        PolicyKind::Lru,
-        PolicyKind::Ship,
-        PolicyKind::Ghrp,
-        PolicyKind::Srrip,
-    ];
-    let mut names: Vec<String> =
-        policies.iter().map(|p| p.name().to_string()).collect();
+    let mut policies = vec![PolicyKind::Lru, PolicyKind::Ship, PolicyKind::Ghrp, PolicyKind::Srrip];
+    let mut names: Vec<String> = policies.iter().map(|p| p.name().to_string()).collect();
     for variant in ChirpVariant::ablation_ladder() {
         names.push(variant.name.clone());
         policies.push(PolicyKind::Chirp(variant.config));
@@ -76,8 +70,7 @@ mod tests {
         let config = RunnerConfig { instructions: 120_000, threads: 4, ..Default::default() };
         let result = run(&suite, &config);
         let full = result.rungs.iter().find(|(n, _)| n == "chirp").unwrap().1;
-        let path_only =
-            result.rungs.iter().find(|(n, _)| n == "chirp-path-only").unwrap().1;
+        let path_only = result.rungs.iter().find(|(n, _)| n == "chirp-path-only").unwrap().1;
         assert!(
             full >= path_only - 0.02,
             "full chirp ({full:.4}) should be at least near path-only ({path_only:.4})"

@@ -38,8 +38,7 @@ pub fn from_runs(runs: &[BenchRun], policies: usize, walk_penalty: u64) -> Fig8R
             series[p - 1].1.push(group[p].result.speedup_over(lru));
         }
     }
-    let geomeans =
-        series.iter().map(|(name, sp)| (name.clone(), geomean_speedup(sp))).collect();
+    let geomeans = series.iter().map(|(name, sp)| (name.clone(), geomean_speedup(sp))).collect();
     Fig8Result { walk_penalty, series, geomeans }
 }
 

@@ -47,11 +47,8 @@ pub fn render(result: &Fig9Result) -> String {
     let mut table = Table::new(["table size", "improvement", "bar"]);
     let max = result.points.iter().map(|(_, r)| r.abs()).fold(1e-9, f64::max);
     for (bytes, r) in &result.points {
-        let label = if *bytes >= 1024 {
-            format!("{}KB", bytes / 1024)
-        } else {
-            format!("{bytes}B")
-        };
+        let label =
+            if *bytes >= 1024 { format!("{}KB", bytes / 1024) } else { format!("{bytes}B") };
         let bar_len = ((r.max(0.0) / max) * 40.0).round() as usize;
         table.row([label, format!("{:+.2}%", r * 100.0), "#".repeat(bar_len)]);
     }

@@ -4,6 +4,10 @@
 //! a `render(...)` producing the textual figure; the `chirp-bench` harness
 //! binaries are thin wrappers over these.
 
+pub mod ext_mixed_pages;
+pub mod ext_wrong_path;
+pub mod fig10_penalty;
+pub mod fig11_access_rate;
 pub mod fig1_efficiency;
 pub mod fig2_history;
 pub mod fig3_adaline;
@@ -11,8 +15,4 @@ pub mod fig6_ablation;
 pub mod fig7_mpki;
 pub mod fig8_speedup;
 pub mod fig9_table_size;
-pub mod fig10_penalty;
-pub mod fig11_access_rate;
-pub mod ext_mixed_pages;
-pub mod ext_wrong_path;
 pub mod opt_bound;

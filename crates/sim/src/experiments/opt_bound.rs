@@ -129,12 +129,7 @@ pub fn render(result: &OptBoundResult) -> String {
     out.push_str("Extension: Belady-OPT bound vs LRU and CHiRP (MPKI)\n");
     let mut table = Table::new(["benchmark", "LRU", "CHiRP", "OPT"]);
     for (name, l, c, o) in &result.rows {
-        table.row([
-            name.clone(),
-            format!("{l:.3}"),
-            format!("{c:.3}"),
-            format!("{o:.3}"),
-        ]);
+        table.row([name.clone(), format!("{l:.3}"), format!("{c:.3}"), format!("{o:.3}")]);
     }
     table.row([
         "MEAN".to_string(),
@@ -161,10 +156,7 @@ mod tests {
         let config = RunnerConfig { instructions: 120_000, threads: 1, ..Default::default() };
         let result = run(&suite, &config);
         for (name, lru, _chirp, opt) in &result.rows {
-            assert!(
-                *opt <= *lru + 1e-9,
-                "{name}: OPT ({opt:.3}) must not exceed LRU ({lru:.3})"
-            );
+            assert!(*opt <= *lru + 1e-9, "{name}: OPT ({opt:.3}) must not exceed LRU ({lru:.3})");
         }
         assert!(result.means.2 <= result.means.0);
         assert!(render(&result).contains("OPT"));

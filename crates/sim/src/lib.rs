@@ -26,9 +26,10 @@ pub mod metrics;
 pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod store_cache;
 
 pub use config::SimConfig;
 pub use engine::Simulator;
 pub use metrics::RunResult;
 pub use registry::PolicyKind;
-pub use runner::{run_suite, BenchRun, RunnerConfig};
+pub use runner::{run_suite, run_suite_cached, BenchRun, CacheStats, RunnerConfig};

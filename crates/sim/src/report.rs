@@ -97,12 +97,7 @@ pub fn render_scurve(series: &[(String, Vec<f64>)], height: usize, width: usize)
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| series[0].1[a].partial_cmp(&series[0].1[b]).expect("finite values"));
 
-    let max = series
-        .iter()
-        .flat_map(|(_, v)| v.iter())
-        .cloned()
-        .fold(0.0f64, f64::max)
-        .max(1e-9);
+    let max = series.iter().flat_map(|(_, v)| v.iter()).cloned().fold(0.0f64, f64::max).max(1e-9);
     let cols = width.min(n).max(1);
     let mut grid = vec![vec![' '; cols]; height];
     let marks = ['*', 'o', '+', 'x', '#', '@', '%'];
@@ -142,11 +137,8 @@ pub fn render_density(name: &str, values: &[f64], lo: f64, hi: f64, bins: usize)
         counts[b] += 1;
     }
     let maxc = counts.iter().copied().max().unwrap_or(0).max(1);
-    let mean = if values.is_empty() {
-        0.0
-    } else {
-        values.iter().sum::<f64>() / values.len() as f64
-    };
+    let mean =
+        if values.is_empty() { 0.0 } else { values.iter().sum::<f64>() / values.len() as f64 };
     let mut out = String::new();
     let _ = writeln!(out, "{name} (mean = {mean:.4})");
     for (i, &c) in counts.iter().enumerate() {

@@ -1,15 +1,23 @@
 //! Parallel suite runner: simulates every benchmark under every policy,
 //! spreading benchmarks over worker threads.
+//!
+//! [`run_suite`] always simulates everything; [`run_suite_cached`] fronts
+//! it with a `chirp-store` directory and only simulates (benchmark ×
+//! policy) pairs whose results are not already in the run ledger, pulling
+//! traces from the content-addressed archive instead of regenerating them.
 
 use crate::config::SimConfig;
 use crate::engine::Simulator;
 use crate::metrics::RunResult;
 use crate::registry::PolicyKind;
+use crate::store_cache::{record_from_run, run_from_record, run_key};
+use chirp_store::{Store, StoreError};
 use chirp_trace::suite::BenchmarkSpec;
 use chirp_trace::Category;
 use crossbeam::channel;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
 
 /// Runner parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -20,6 +28,10 @@ pub struct RunnerConfig {
     pub threads: usize,
     /// Simulator configuration shared by all runs.
     pub sim: SimConfig,
+    /// When set, [`run_suite`] routes through the `chirp-store` directory
+    /// at this path: ledger hits skip simulation, traces come from the
+    /// archive, and fresh results are recorded for the next run.
+    pub store: Option<PathBuf>,
 }
 
 impl Default for RunnerConfig {
@@ -28,7 +40,18 @@ impl Default for RunnerConfig {
             instructions: 1_000_000,
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             sim: SimConfig::default(),
+            store: None,
         }
+    }
+}
+
+impl RunnerConfig {
+    /// Worker threads actually spawned: `threads` clamped to at least 1,
+    /// so a zero (e.g. from a miscomputed division) degrades to serial
+    /// execution instead of deadlocking with no workers to drain the
+    /// queue.
+    pub fn worker_threads(&self) -> usize {
+        self.threads.max(1)
     }
 }
 
@@ -46,7 +69,28 @@ pub struct BenchRun {
 /// Runs `policies` over `suite` in parallel. Each worker generates a
 /// benchmark's trace once and reuses it for every policy, so results are
 /// directly comparable. Output order matches `suite` × `policies`.
+///
+/// With `config.store` set, this delegates to [`run_suite_cached`] — only
+/// missing (benchmark × policy) pairs are simulated. An unusable store
+/// (I/O error) degrades to a plain uncached run with a warning rather
+/// than aborting the experiment.
 pub fn run_suite(
+    suite: &[BenchmarkSpec],
+    policies: &[PolicyKind],
+    config: &RunnerConfig,
+) -> Vec<BenchRun> {
+    if let Some(root) = &config.store {
+        match run_suite_cached(suite, policies, config, root) {
+            Ok((runs, _)) => return runs,
+            Err(e) => {
+                eprintln!("warning: store at {} unusable ({e}); running without it", root.display())
+            }
+        }
+    }
+    run_suite_direct(suite, policies, config)
+}
+
+fn run_suite_direct(
     suite: &[BenchmarkSpec],
     policies: &[PolicyKind],
     config: &RunnerConfig,
@@ -59,7 +103,7 @@ pub fn run_suite(
     drop(tx);
 
     std::thread::scope(|scope| {
-        for _ in 0..config.threads.max(1) {
+        for _ in 0..config.worker_threads() {
             let rx = rx.clone();
             let results = &results;
             scope.spawn(move || {
@@ -90,6 +134,137 @@ pub fn run_suite(
         .into_iter()
         .flat_map(|r| r.expect("every benchmark was processed"))
         .collect()
+}
+
+/// Per-work-item outcome slot of the cached runner's parallel phase.
+type WorkSlot = Option<Result<Vec<BenchRun>, StoreError>>;
+
+/// What `run_suite_cached` did to satisfy a request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// (benchmark × policy) pairs simulated this call.
+    pub simulated: usize,
+    /// Pairs answered from the run ledger without simulating.
+    pub ledger_hits: usize,
+    /// Traces decoded from the archive rather than generated.
+    pub trace_hits: u64,
+    /// Traces generated and archived (absent from the archive).
+    pub trace_generated: u64,
+    /// Traces regenerated over a corrupt archive entry.
+    pub trace_regenerated: u64,
+}
+
+/// Like [`run_suite`], but incremental: results already in the run ledger
+/// under `store_root` are returned without simulating, and traces for the
+/// remaining pairs come from the content-addressed archive (generated and
+/// archived on first use, transparently regenerated if a file is corrupt).
+/// Freshly simulated results are appended to the ledger, so a second call
+/// with identical inputs performs zero simulations.
+///
+/// Output order and values match `run_suite` exactly — archived traces
+/// decode to the same records generation produces, and ledger keys cover
+/// everything that can affect a result (see
+/// [`run_key`](crate::store_cache::run_key)).
+pub fn run_suite_cached(
+    suite: &[BenchmarkSpec],
+    policies: &[PolicyKind],
+    config: &RunnerConfig,
+    store_root: &Path,
+) -> Result<(Vec<BenchRun>, CacheStats), StoreError> {
+    let mut store = Store::open(store_root)?;
+    let mut stats = CacheStats::default();
+    let mut slots: Vec<Option<BenchRun>> = vec![None; suite.len() * policies.len()];
+
+    // Resolve everything the ledger already knows; collect the rest as
+    // (benchmark index, missing policy indices) work items.
+    let mut work: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (bi, bench) in suite.iter().enumerate() {
+        let mut need = Vec::new();
+        for (pi, policy) in policies.iter().enumerate() {
+            let key = run_key(&config.sim, policy, &bench.name, config.instructions);
+            match store.ledger.get(key).and_then(run_from_record) {
+                Some(run) => {
+                    slots[bi * policies.len() + pi] = Some(run);
+                    stats.ledger_hits += 1;
+                }
+                None => need.push(pi),
+            }
+        }
+        if !need.is_empty() {
+            work.push((bi, need));
+        }
+    }
+
+    if !work.is_empty() {
+        // Workers share the archive behind a mutex: trace fetch (decode or
+        // generate) happens under the lock, simulation — the dominant cost
+        // — outside it.
+        let archive = Mutex::new(&mut store.archive);
+        let results: Mutex<Vec<WorkSlot>> = Mutex::new((0..work.len()).map(|_| None).collect());
+        let (tx, rx) = channel::unbounded::<usize>();
+        for w in 0..work.len() {
+            tx.send(w).expect("channel open");
+        }
+        drop(tx);
+
+        std::thread::scope(|scope| {
+            for _ in 0..config.worker_threads() {
+                let rx = rx.clone();
+                let results = &results;
+                let archive = &archive;
+                let work = &work;
+                scope.spawn(move || {
+                    while let Ok(w) = rx.recv() {
+                        let (bi, ref missing) = work[w];
+                        let bench = &suite[bi];
+                        let fetched = archive.lock().get_or_generate(bench, config.instructions);
+                        let outcome = fetched.map(|(trace, _)| {
+                            missing
+                                .iter()
+                                .map(|&pi| {
+                                    let policy = &policies[pi];
+                                    let mut sim = Simulator::new(
+                                        &config.sim,
+                                        policy.build(config.sim.tlb.l2, bench.seed),
+                                    );
+                                    let result = sim.run(&trace, config.sim.warmup_fraction);
+                                    BenchRun {
+                                        benchmark: bench.name.clone(),
+                                        category: bench.category,
+                                        result,
+                                    }
+                                })
+                                .collect()
+                        });
+                        results.lock()[w] = Some(outcome);
+                    }
+                });
+            }
+        });
+
+        let archive_stats = store.archive.stats();
+        stats.trace_hits = archive_stats.hits;
+        stats.trace_generated = archive_stats.misses;
+        stats.trace_regenerated = archive_stats.corrupt_regenerated;
+
+        // Record fresh results in deterministic (suite × policy) order.
+        for (w, item) in results.into_inner().into_iter().enumerate() {
+            let runs = item.expect("every work item was processed")?;
+            let (bi, ref missing) = work[w];
+            for (&pi, run) in missing.iter().zip(runs) {
+                let key = run_key(&config.sim, &policies[pi], &suite[bi].name, config.instructions);
+                store.ledger.append(key, record_from_run(&run))?;
+                slots[bi * policies.len() + pi] = Some(run);
+                stats.simulated += 1;
+            }
+        }
+    }
+
+    let runs = slots
+        .into_iter()
+        .map(|slot| slot.expect("every pair resolved from ledger or simulation"))
+        .collect();
+    Ok((runs, stats))
 }
 
 /// Groups per-policy results for one benchmark out of a flat `run_suite`
@@ -125,6 +300,72 @@ mod tests {
         let serial = RunnerConfig { instructions: 10_000, threads: 1, ..Default::default() };
         let parallel = RunnerConfig { instructions: 10_000, threads: 4, ..Default::default() };
         assert_eq!(run_suite(&suite, &policies, &serial), run_suite(&suite, &policies, &parallel));
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_serial_instead_of_deadlocking() {
+        let suite = build_suite(&SuiteConfig { benchmarks: 2 });
+        let policies = [PolicyKind::Lru];
+        let config = RunnerConfig { instructions: 5_000, threads: 0, ..Default::default() };
+        assert_eq!(config.worker_threads(), 1);
+        let runs = run_suite(&suite, &policies, &config);
+        assert_eq!(runs.len(), 2);
+    }
+
+    #[test]
+    fn cached_run_matches_uncached_and_second_pass_simulates_nothing() {
+        let root = std::env::temp_dir().join(format!("chirp-runner-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let suite = build_suite(&SuiteConfig { benchmarks: 3 });
+        let policies = [PolicyKind::Lru, PolicyKind::Srrip];
+        let config = RunnerConfig { instructions: 10_000, threads: 2, ..Default::default() };
+
+        let plain = run_suite(&suite, &policies, &config);
+        let (first, stats) = run_suite_cached(&suite, &policies, &config, &root).unwrap();
+        assert_eq!(first, plain);
+        assert_eq!(stats.simulated, 6);
+        assert_eq!(stats.ledger_hits, 0);
+        assert_eq!(stats.trace_generated, 3);
+
+        let (second, stats) = run_suite_cached(&suite, &policies, &config, &root).unwrap();
+        assert_eq!(second, plain);
+        assert_eq!(stats.simulated, 0);
+        assert_eq!(stats.ledger_hits, 6);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn store_field_routes_run_suite_through_cache() {
+        let root = std::env::temp_dir().join(format!("chirp-runner-field-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let suite = build_suite(&SuiteConfig { benchmarks: 2 });
+        let policies = [PolicyKind::Lru];
+        let plain_config = RunnerConfig { instructions: 5_000, threads: 2, ..Default::default() };
+        let stored_config = RunnerConfig { store: Some(root.clone()), ..plain_config.clone() };
+        let plain = run_suite(&suite, &policies, &plain_config);
+        assert_eq!(run_suite(&suite, &policies, &stored_config), plain);
+        // Second pass answers from the populated store.
+        assert_eq!(run_suite(&suite, &policies, &stored_config), plain);
+        assert!(root.join("runs.jsonl").is_file());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cached_run_simulates_only_new_policies() {
+        let root =
+            std::env::temp_dir().join(format!("chirp-runner-partial-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let suite = build_suite(&SuiteConfig { benchmarks: 2 });
+        let config = RunnerConfig { instructions: 8_000, threads: 2, ..Default::default() };
+
+        run_suite_cached(&suite, &[PolicyKind::Lru], &config, &root).unwrap();
+        let (_, stats) =
+            run_suite_cached(&suite, &[PolicyKind::Lru, PolicyKind::Random], &config, &root)
+                .unwrap();
+        assert_eq!(stats.ledger_hits, 2, "lru results come from the ledger");
+        assert_eq!(stats.simulated, 2, "only random is simulated");
+        assert_eq!(stats.trace_hits, 2, "traces decode from the archive");
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

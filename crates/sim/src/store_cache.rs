@@ -1,0 +1,157 @@
+//! Bridge between the simulator and `chirp-store`: run-ledger keys and the
+//! [`BenchRun`] ⇄ ledger-record mapping.
+//!
+//! The store crate is deliberately generic — it persists flat JSON objects
+//! and leaves key semantics to callers — so everything that knows about
+//! `SimConfig`, `PolicyKind` and `RunResult` lives here.
+
+use crate::config::SimConfig;
+use crate::metrics::RunResult;
+use crate::registry::PolicyKind;
+use crate::runner::BenchRun;
+use chirp_store::{Fnv64, JsonObject};
+use chirp_tlb::TlbStats;
+use chirp_trace::Category;
+
+/// Version of the run-key scheme. Participates in every key, so bumping it
+/// invalidates all ledger entries at once (e.g. when the simulator's
+/// timing model changes in a way `SimConfig` does not capture).
+pub const RUN_KEY_VERSION: u32 = 1;
+
+/// Content key identifying one (config × policy × benchmark × length) run.
+///
+/// The simulator configuration and the policy enter through their `Debug`
+/// representations, which spell out every parameter — so a Figure 6
+/// ablation's `Chirp(ChirpConfig { .. })` variants get distinct keys even
+/// though they share the display name `"chirp"`, and any `SimConfig` field
+/// change (walk penalty sweeps, geometry edits) invalidates exactly the
+/// runs it affects. Thread count deliberately does not participate:
+/// parallelism cannot change results.
+pub fn run_key(sim: &SimConfig, policy: &PolicyKind, benchmark: &str, instructions: usize) -> u64 {
+    let mut h = Fnv64::new();
+    h.update_field(&format!("{sim:?}"))
+        .update_field(&format!("{policy:?}"))
+        .update_field(benchmark)
+        .update_u64(instructions as u64)
+        .update_u64(u64::from(RUN_KEY_VERSION));
+    h.finish()
+}
+
+/// Serialises a completed run into a flat ledger record.
+pub fn record_from_run(run: &BenchRun) -> JsonObject {
+    let r = &run.result;
+    let mut obj = JsonObject::new();
+    obj.set_str("benchmark", &run.benchmark)
+        .set_str("category", run.category.label())
+        .set_str("policy", &r.policy)
+        .set_u64("instructions", r.instructions)
+        .set_u64("cycles", r.cycles)
+        .set_u64("hits", r.l2_tlb.hits)
+        .set_u64("misses", r.l2_tlb.misses)
+        .set_u64("dead_evictions", r.l2_tlb.dead_evictions)
+        .set_u64("cold_fills", r.l2_tlb.cold_fills)
+        .set_u64("l2_accesses", r.l2_accesses)
+        .set_u64("prediction_table_accesses", r.prediction_table_accesses)
+        .set_u64("l2_accesses_total", r.l2_accesses_total)
+        .set_f64("efficiency", r.efficiency);
+    obj
+}
+
+/// Rebuilds a [`BenchRun`] from a ledger record. Returns `None` when any
+/// field is missing or mistyped (e.g. a record written by an incompatible
+/// build), which callers treat as a cache miss.
+pub fn run_from_record(obj: &JsonObject) -> Option<BenchRun> {
+    Some(BenchRun {
+        benchmark: obj.str_field("benchmark")?.to_string(),
+        category: category_from_label(obj.str_field("category")?)?,
+        result: RunResult {
+            policy: obj.str_field("policy")?.to_string(),
+            instructions: obj.u64_field("instructions")?,
+            cycles: obj.u64_field("cycles")?,
+            l2_tlb: TlbStats {
+                hits: obj.u64_field("hits")?,
+                misses: obj.u64_field("misses")?,
+                dead_evictions: obj.u64_field("dead_evictions")?,
+                cold_fills: obj.u64_field("cold_fills")?,
+            },
+            l2_accesses: obj.u64_field("l2_accesses")?,
+            prediction_table_accesses: obj.u64_field("prediction_table_accesses")?,
+            l2_accesses_total: obj.u64_field("l2_accesses_total")?,
+            efficiency: obj.f64_field("efficiency")?,
+        },
+    })
+}
+
+fn category_from_label(label: &str) -> Option<Category> {
+    Category::ALL.into_iter().find(|c| c.label() == label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chirp_core::ChirpConfig;
+
+    fn sample_run() -> BenchRun {
+        BenchRun {
+            benchmark: "web_serve.1a2b#s3".to_string(),
+            category: Category::Web,
+            result: RunResult {
+                policy: "chirp".to_string(),
+                instructions: 500_000,
+                cycles: 1_234_567,
+                l2_tlb: TlbStats { hits: 400, misses: 99, dead_evictions: 7, cold_fills: 3 },
+                l2_accesses: 499,
+                prediction_table_accesses: 512,
+                l2_accesses_total: 998,
+                efficiency: 0.875,
+            },
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_bench_run() {
+        let run = sample_run();
+        let obj = record_from_run(&run);
+        // Through the wire format, as the ledger stores it.
+        let decoded = JsonObject::parse(&obj.to_json()).unwrap();
+        assert_eq!(run_from_record(&decoded), Some(run));
+    }
+
+    #[test]
+    fn every_category_label_roundtrips() {
+        for cat in Category::ALL {
+            assert_eq!(category_from_label(cat.label()), Some(cat));
+        }
+        assert_eq!(category_from_label("nope"), None);
+    }
+
+    #[test]
+    fn incomplete_record_reads_as_miss() {
+        let mut obj = record_from_run(&sample_run());
+        obj.set_str("category", "not-a-category");
+        assert_eq!(run_from_record(&obj), None);
+    }
+
+    #[test]
+    fn key_distinguishes_every_identity_component() {
+        let sim = SimConfig::default();
+        let base = run_key(&sim, &PolicyKind::Lru, "b", 1000);
+        assert_ne!(base, run_key(&sim, &PolicyKind::Srrip, "b", 1000));
+        assert_ne!(base, run_key(&sim, &PolicyKind::Lru, "c", 1000));
+        assert_ne!(base, run_key(&sim, &PolicyKind::Lru, "b", 2000));
+        let mut other = sim;
+        other.warmup_fraction *= 0.5;
+        assert_ne!(base, run_key(&other, &PolicyKind::Lru, "b", 1000));
+    }
+
+    #[test]
+    fn chirp_ablation_variants_get_distinct_keys() {
+        // Display name collapses to "chirp" for every ChirpConfig; the key
+        // must still tell Figure 6 ablation rows apart.
+        let sim = SimConfig::default();
+        let full = PolicyKind::Chirp(ChirpConfig::default());
+        let ablated = PolicyKind::Chirp(ChirpConfig { path_length: 1, ..Default::default() });
+        assert_eq!(full.name(), ablated.name());
+        assert_ne!(run_key(&sim, &full, "b", 1000), run_key(&sim, &ablated, "b", 1000));
+    }
+}

@@ -1,0 +1,374 @@
+//! Content-addressed trace archive.
+//!
+//! Materialises benchmark traces to disk once, in the `CHRP` codec, keyed
+//! by a content hash of everything that determines the trace bytes: the
+//! spec name, the full generator parameter set, the seed, the instruction
+//! count and the codec version. Layout under the store root:
+//!
+//! ```text
+//! <root>/traces/<key>.chrp        one trace per content key
+//! <root>/traces/MANIFEST.jsonl    append-only: one JSON line per file
+//! ```
+//!
+//! Writes are atomic (tmp file + rename in the same directory), every file
+//! carries an FNV-1a checksum in the manifest, and corruption — missing
+//! file, bad checksum, undecodable bytes — is never fatal: the trace is
+//! regenerated from its spec and the archive entry is rewritten.
+
+use crate::hash::{fnv64, hex16, Fnv64};
+use crate::json::JsonObject;
+use crate::StoreError;
+use chirp_trace::suite::BenchmarkSpec;
+use chirp_trace::{read_trace, write_trace, TraceRecord};
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Version of the archive keying/layout scheme; bumping it invalidates
+/// every archived trace (it participates in the content key).
+pub const ARCHIVE_VERSION: u32 = 1;
+
+/// How a trace request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchiveOutcome {
+    /// Decoded from a valid archived file.
+    Hit,
+    /// Not present; generated and archived.
+    MissGenerated,
+    /// Present but corrupt (checksum/decode failure); regenerated and
+    /// rewritten.
+    CorruptRegenerated,
+}
+
+/// Counters for archive activity since open.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArchiveStats {
+    /// Traces served from disk.
+    pub hits: u64,
+    /// Traces generated because no archive entry existed.
+    pub misses: u64,
+    /// Traces regenerated over a corrupt archive entry.
+    pub corrupt_regenerated: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ManifestEntry {
+    checksum: u64,
+    bytes: u64,
+}
+
+/// The on-disk trace archive.
+#[derive(Debug)]
+pub struct TraceArchive {
+    dir: PathBuf,
+    manifest_path: PathBuf,
+    entries: HashMap<u64, ManifestEntry>,
+    stats: ArchiveStats,
+}
+
+impl TraceArchive {
+    /// Opens (creating if needed) the archive under `store_root/traces`.
+    pub fn open(store_root: &Path) -> Result<TraceArchive, StoreError> {
+        let dir = store_root.join("traces");
+        fs::create_dir_all(&dir).map_err(|e| StoreError::io("create archive dir", e))?;
+        let manifest_path = dir.join("MANIFEST.jsonl");
+        let mut entries = HashMap::new();
+        if manifest_path.exists() {
+            let text = fs::read_to_string(&manifest_path)
+                .map_err(|e| StoreError::io("read archive manifest", e))?;
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                // A torn final line (interrupted append) parses as an
+                // error; skip it — the trace it described will simply be
+                // treated as absent or fail its checksum.
+                let Ok(obj) = JsonObject::parse(line) else { continue };
+                let (Some(key), Some(checksum), Some(bytes)) = (
+                    obj.str_field("key").and_then(crate::hash::parse_hex16),
+                    obj.str_field("checksum").and_then(crate::hash::parse_hex16),
+                    obj.u64_field("bytes"),
+                ) else {
+                    continue;
+                };
+                // Later lines win: a rewritten (regenerated) trace appends
+                // a fresh manifest line for the same key.
+                entries.insert(key, ManifestEntry { checksum, bytes });
+            }
+        }
+        Ok(TraceArchive { dir, manifest_path, entries, stats: ArchiveStats::default() })
+    }
+
+    /// The content key for (`spec`, `len`): covers the benchmark name, the
+    /// full generator parameter set (via its `Debug` form, which is part of
+    /// the spec's serialised identity), the seed, the instruction count and
+    /// the codec/archive version.
+    pub fn content_key(spec: &BenchmarkSpec, len: usize) -> u64 {
+        let mut h = Fnv64::new();
+        h.update_field(&spec.name)
+            .update_u64(spec.seed)
+            .update_field(&format!("{:?}", spec.spec))
+            .update_u64(len as u64)
+            .update_u64(u64::from(ARCHIVE_VERSION));
+        h.finish()
+    }
+
+    /// Path of the trace file for `key`.
+    pub fn trace_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{}.chrp", hex16(key)))
+    }
+
+    /// Returns the trace for (`spec`, `len`), decoding it from the archive
+    /// when a valid copy exists, else generating (and archiving) it.
+    /// Corrupt entries are regenerated, never fatal.
+    pub fn get_or_generate(
+        &mut self,
+        spec: &BenchmarkSpec,
+        len: usize,
+    ) -> Result<(Vec<TraceRecord>, ArchiveOutcome), StoreError> {
+        let key = Self::content_key(spec, len);
+        let path = self.trace_path(key);
+        let known = self.entries.get(&key).cloned();
+        if let Some(entry) = known {
+            match fs::read(&path) {
+                Ok(bytes) => {
+                    if bytes.len() as u64 == entry.bytes && fnv64(&bytes) == entry.checksum {
+                        if let Ok(trace) = read_trace(&bytes) {
+                            self.stats.hits += 1;
+                            return Ok((trace, ArchiveOutcome::Hit));
+                        }
+                    }
+                    // Checksum or codec mismatch: fall through to
+                    // regeneration.
+                }
+                Err(_) => {
+                    // Manifest entry without a readable file: regenerate.
+                }
+            }
+            let trace = spec.generate(len);
+            self.write_entry(key, &trace)?;
+            self.stats.corrupt_regenerated += 1;
+            return Ok((trace, ArchiveOutcome::CorruptRegenerated));
+        }
+        let trace = spec.generate(len);
+        self.write_entry(key, &trace)?;
+        self.stats.misses += 1;
+        Ok((trace, ArchiveOutcome::MissGenerated))
+    }
+
+    /// Materialises (`spec`, `len`) if absent or invalid, without decoding
+    /// an existing valid file. Returns the outcome.
+    pub fn pack(&mut self, spec: &BenchmarkSpec, len: usize) -> Result<ArchiveOutcome, StoreError> {
+        let key = Self::content_key(spec, len);
+        if let Some(entry) = self.entries.get(&key) {
+            if let Ok(bytes) = fs::read(self.trace_path(key)) {
+                if bytes.len() as u64 == entry.bytes && fnv64(&bytes) == entry.checksum {
+                    self.stats.hits += 1;
+                    return Ok(ArchiveOutcome::Hit);
+                }
+            }
+            let trace = spec.generate(len);
+            self.write_entry(key, &trace)?;
+            self.stats.corrupt_regenerated += 1;
+            return Ok(ArchiveOutcome::CorruptRegenerated);
+        }
+        let trace = spec.generate(len);
+        self.write_entry(key, &trace)?;
+        self.stats.misses += 1;
+        Ok(ArchiveOutcome::MissGenerated)
+    }
+
+    fn write_entry(&mut self, key: u64, trace: &[TraceRecord]) -> Result<(), StoreError> {
+        let bytes = write_trace(trace);
+        let checksum = fnv64(&bytes);
+        let path = self.trace_path(key);
+        write_atomic(&path, &bytes)?;
+        let mut line = JsonObject::new();
+        line.set_str("key", &hex16(key))
+            .set_str("checksum", &hex16(checksum))
+            .set_u64("bytes", bytes.len() as u64)
+            .set_u64("records", trace.len() as u64)
+            .set_u64("version", u64::from(ARCHIVE_VERSION));
+        append_line(&self.manifest_path, &line.to_json())?;
+        self.entries.insert(key, ManifestEntry { checksum, bytes: bytes.len() as u64 });
+        Ok(())
+    }
+
+    /// Checksum-audits every manifest entry. Returns `(valid, corrupt)`
+    /// counts; corrupt entries (missing files count as corrupt) are listed
+    /// by key in the second element.
+    pub fn verify(&self) -> (usize, Vec<u64>) {
+        let mut valid = 0usize;
+        let mut corrupt = Vec::new();
+        for (&key, entry) in &self.entries {
+            let ok = fs::read(self.trace_path(key))
+                .map(|bytes| {
+                    bytes.len() as u64 == entry.bytes
+                        && fnv64(&bytes) == entry.checksum
+                        && read_trace(&bytes).is_ok()
+                })
+                .unwrap_or(false);
+            if ok {
+                valid += 1;
+            } else {
+                corrupt.push(key);
+            }
+        }
+        corrupt.sort_unstable();
+        (valid, corrupt)
+    }
+
+    /// Number of manifest entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the archive has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Activity counters since open.
+    pub fn stats(&self) -> ArchiveStats {
+        self.stats
+    }
+}
+
+/// Writes `bytes` to `path` atomically: a unique tmp file in the same
+/// directory, then rename. Readers never observe a half-written file.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let dir = path.parent().ok_or_else(|| {
+        StoreError::corrupt(format!("path {} has no parent directory", path.display()))
+    })?;
+    let tmp = dir.join(format!(
+        ".tmp.{}.{:x}",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("trace"),
+        std::process::id(),
+    ));
+    let result = (|| {
+        let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io("create tmp file", e))?;
+        f.write_all(bytes).map_err(|e| StoreError::io("write tmp file", e))?;
+        f.sync_all().map_err(|e| StoreError::io("sync tmp file", e))?;
+        fs::rename(&tmp, path).map_err(|e| StoreError::io("rename tmp file", e))
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Appends `line` + newline to `path`, creating it if needed.
+pub(crate) fn append_line(path: &Path, line: &str) -> Result<(), StoreError> {
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| StoreError::io("open for append", e))?;
+    f.write_all(line.as_bytes()).map_err(|e| StoreError::io("append line", e))?;
+    f.write_all(b"\n").map_err(|e| StoreError::io("append newline", e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chirp_trace::suite::{build_suite, SuiteConfig};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("chirp-store-archive-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn spec() -> BenchmarkSpec {
+        build_suite(&SuiteConfig { benchmarks: 3 }).remove(1)
+    }
+
+    #[test]
+    fn miss_then_hit_roundtrips_identical_trace() {
+        let root = tmpdir("hit");
+        let mut archive = TraceArchive::open(&root).unwrap();
+        let (first, outcome) = archive.get_or_generate(&spec(), 5_000).unwrap();
+        assert_eq!(outcome, ArchiveOutcome::MissGenerated);
+        let (second, outcome) = archive.get_or_generate(&spec(), 5_000).unwrap();
+        assert_eq!(outcome, ArchiveOutcome::Hit);
+        assert_eq!(first, second);
+        // A reopened archive still hits.
+        let mut reopened = TraceArchive::open(&root).unwrap();
+        let (third, outcome) = reopened.get_or_generate(&spec(), 5_000).unwrap();
+        assert_eq!(outcome, ArchiveOutcome::Hit);
+        assert_eq!(first, third);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn different_lengths_get_different_keys() {
+        let s = spec();
+        assert_ne!(TraceArchive::content_key(&s, 1000), TraceArchive::content_key(&s, 2000));
+    }
+
+    #[test]
+    fn corruption_is_detected_and_regenerated() {
+        let root = tmpdir("corrupt");
+        let mut archive = TraceArchive::open(&root).unwrap();
+        let (original, _) = archive.get_or_generate(&spec(), 4_000).unwrap();
+        let key = TraceArchive::content_key(&spec(), 4_000);
+        let path = archive.trace_path(key);
+
+        // Flip bytes in the stored file.
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let mut reopened = TraceArchive::open(&root).unwrap();
+        let (_, corrupt) = reopened.verify();
+        assert_eq!(corrupt, vec![key]);
+        let (recovered, outcome) = reopened.get_or_generate(&spec(), 4_000).unwrap();
+        assert_eq!(outcome, ArchiveOutcome::CorruptRegenerated);
+        assert_eq!(recovered, original);
+        // The rewrite healed the archive.
+        let (valid, corrupt) = reopened.verify();
+        assert_eq!((valid, corrupt.len()), (1, 0));
+        assert_eq!(reopened.stats().corrupt_regenerated, 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_file_with_manifest_entry_regenerates() {
+        let root = tmpdir("missing");
+        let mut archive = TraceArchive::open(&root).unwrap();
+        archive.get_or_generate(&spec(), 2_000).unwrap();
+        let key = TraceArchive::content_key(&spec(), 2_000);
+        fs::remove_file(archive.trace_path(key)).unwrap();
+        let mut reopened = TraceArchive::open(&root).unwrap();
+        let (_, outcome) = reopened.get_or_generate(&spec(), 2_000).unwrap();
+        assert_eq!(outcome, ArchiveOutcome::CorruptRegenerated);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn pack_skips_valid_entries() {
+        let root = tmpdir("pack");
+        let mut archive = TraceArchive::open(&root).unwrap();
+        assert_eq!(archive.pack(&spec(), 3_000).unwrap(), ArchiveOutcome::MissGenerated);
+        assert_eq!(archive.pack(&spec(), 3_000).unwrap(), ArchiveOutcome::Hit);
+        assert_eq!(archive.len(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_manifest_line_is_skipped() {
+        let root = tmpdir("torn");
+        let mut archive = TraceArchive::open(&root).unwrap();
+        archive.get_or_generate(&spec(), 1_000).unwrap();
+        // Simulate an interrupted append.
+        append_line(&root.join("traces/MANIFEST.jsonl"), "{\"key\":\"dead").unwrap();
+        let reopened = TraceArchive::open(&root).unwrap();
+        assert_eq!(reopened.len(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

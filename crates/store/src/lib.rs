@@ -1,0 +1,126 @@
+//! # chirp-store
+//!
+//! Persistent, content-addressed storage for CHiRP experiments: a trace
+//! archive and a run ledger, together enabling incremental experiment
+//! execution — rerunning a figure harness only simulates combinations
+//! whose results are not already on disk.
+//!
+//! ## Layout
+//!
+//! ```text
+//! <store>/
+//!   traces/
+//!     <key>.chrp          archived trace (CHRP codec), content-addressed
+//!     MANIFEST.jsonl      append-only: key, checksum, size per file
+//!   runs.jsonl            append-only run ledger (one JSON object/line)
+//! ```
+//!
+//! Trace keys hash the benchmark identity (name, seed, generator
+//! parameters, length, codec version); run keys hash the full run identity
+//! (simulator configuration, policy, benchmark, instruction count) and are
+//! computed by the simulation layer. All hashing is FNV-1a 64-bit — stable
+//! across builds, unlike `std`'s `DefaultHasher`.
+//!
+//! Robustness: file writes are atomic (tmp + rename), every archived file
+//! is checksummed, and corruption is detected and healed by regeneration
+//! rather than being fatal. Ledger and manifest loads skip torn lines.
+
+pub mod archive;
+pub mod hash;
+pub mod json;
+pub mod ledger;
+
+pub use archive::{ArchiveOutcome, ArchiveStats, TraceArchive, ARCHIVE_VERSION};
+pub use hash::{fnv64, hex16, parse_hex16, Fnv64};
+pub use json::{JsonError, JsonObject, JsonValue};
+pub use ledger::RunLedger;
+
+use std::fmt;
+use std::path::Path;
+
+/// Errors surfaced by the store. I/O failures carry the operation that
+/// failed; corruption inside the store is healed internally and only
+/// reported through [`ArchiveOutcome`], never as an error.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An OS-level I/O failure.
+    Io {
+        /// What the store was doing when the failure occurred.
+        context: &'static str,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Store state that cannot be interpreted (e.g. a path with no parent).
+    Corrupt(String),
+}
+
+impl StoreError {
+    pub(crate) fn io(context: &'static str, source: std::io::Error) -> StoreError {
+        StoreError::Io { context, source }
+    }
+
+    pub(crate) fn corrupt(message: String) -> StoreError {
+        StoreError::Corrupt(message)
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "store i/o ({context}): {source}"),
+            StoreError::Corrupt(message) => write!(f, "store corrupt: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Corrupt(_) => None,
+        }
+    }
+}
+
+/// A trace archive and run ledger rooted at the same directory — the unit
+/// the `--store <DIR>` flag opens.
+#[derive(Debug)]
+pub struct Store {
+    /// The content-addressed trace archive under `<root>/traces`.
+    pub archive: TraceArchive,
+    /// The append-only run ledger at `<root>/runs.jsonl`.
+    pub ledger: RunLedger,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store rooted at `root`.
+    pub fn open(root: &Path) -> Result<Store, StoreError> {
+        Ok(Store { archive: TraceArchive::open(root)?, ledger: RunLedger::open(root)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_opens_both_components() {
+        let root = std::env::temp_dir().join(format!("chirp-store-root-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = Store::open(&root).unwrap();
+        assert!(store.archive.is_empty());
+        assert!(store.ledger.is_empty());
+        assert!(root.join("traces").is_dir());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn error_display_mentions_context() {
+        let err = StoreError::io(
+            "read run ledger",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        let text = err.to_string();
+        assert!(text.contains("read run ledger"));
+    }
+}

@@ -109,10 +109,7 @@ pub struct TlbHierarchy {
 
 impl std::fmt::Debug for TlbHierarchy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TlbHierarchy")
-            .field("config", &self.config)
-            .field("l2", &self.l2)
-            .finish()
+        f.debug_struct("TlbHierarchy").field("config", &self.config).field("l2", &self.l2).finish()
     }
 }
 

@@ -206,8 +206,8 @@ impl MixedTlb {
                     let old = Self::table_idx(self.entries[i].signature);
                     self.table[old] = self.table[old].saturating_sub(1);
                     self.entries[i].first_hit_pending = false;
-                    self.entries[i].dead = self.table[Self::table_idx(signature)]
-                        > self.dead_threshold;
+                    self.entries[i].dead =
+                        self.table[Self::table_idx(signature)] > self.dead_threshold;
                 }
                 self.entries[i].signature = signature;
                 self.lru[set].touch(way);
@@ -246,8 +246,7 @@ impl MixedTlb {
 
     fn choose_victim(&mut self, set: usize) -> usize {
         // Invalid ways first.
-        if let Some(way) =
-            (0..self.geometry.ways).find(|&w| !self.entries[self.idx(set, w)].valid)
+        if let Some(way) = (0..self.geometry.ways).find(|&w| !self.entries[self.idx(set, w)].valid)
         {
             return way;
         }
@@ -264,8 +263,7 @@ impl MixedTlb {
                 });
                 dead_4k
                     .or_else(|| {
-                        (0..self.geometry.ways)
-                            .find(|&w| self.entries[self.idx(set, w)].dead)
+                        (0..self.geometry.ways).find(|&w| self.entries[self.idx(set, w)].dead)
                     })
                     .unwrap_or_else(|| self.lru[set].lru())
             }

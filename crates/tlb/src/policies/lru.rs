@@ -14,7 +14,10 @@ pub struct Lru {
 impl Lru {
     /// Creates LRU state for `geometry`.
     pub fn new(geometry: TlbGeometry) -> Self {
-        Lru { stacks: (0..geometry.sets()).map(|_| LruStack::new(geometry.ways)).collect(), geometry }
+        Lru {
+            stacks: (0..geometry.sets()).map(|_| LruStack::new(geometry.ways)).collect(),
+            geometry,
+        }
     }
 }
 

@@ -113,8 +113,7 @@ impl PerceptronReuse {
     fn train(&mut self, idx: &[u16; FEATURES], dead: bool) {
         let sum = self.sum(idx);
         let predicted_dead = sum > self.config.dead_threshold;
-        if predicted_dead != dead || (sum - self.config.dead_threshold).abs() <= self.config.theta
-        {
+        if predicted_dead != dead || (sum - self.config.dead_threshold).abs() <= self.config.theta {
             self.table_accesses += 1;
             for (&i, table) in idx.iter().zip(&mut self.tables) {
                 let w = &mut table[i as usize];

@@ -58,15 +58,9 @@ impl ShipTlb {
     /// Creates SHiP state for `geometry`.
     pub fn new(geometry: TlbGeometry, config: ShipConfig) -> Self {
         assert!(config.shct_bits > 0 && config.shct_bits <= 24, "shct_bits out of range");
-        assert!(
-            config.counter_bits > 0 && config.counter_bits <= 8,
-            "counter_bits out of range"
-        );
+        assert!(config.counter_bits > 0 && config.counter_bits <= 8, "counter_bits out of range");
         ShipTlb {
-            meta: vec![
-                EntryMeta { signature: 0, reused: false, rrpv: RRPV_MAX };
-                geometry.entries
-            ],
+            meta: vec![EntryMeta { signature: 0, reused: false, rrpv: RRPV_MAX }; geometry.entries],
             shct: vec![1; 1 << config.shct_bits],
             counter_max: ((1u16 << config.counter_bits) - 1) as u8,
             config,

@@ -88,8 +88,8 @@ mod tests {
             p.on_fill(&acc(0), way);
         }
         p.on_hit(&acc(0), 1); // way 1 promoted to RRPV 0
-        // Victim: everyone but way 1 is at RRPV 2 → aged to 3; way 0 chosen
-        // (first scan order).
+                              // Victim: everyone but way 1 is at RRPV 2 → aged to 3; way 0 chosen
+                              // (first scan order).
         let v = p.choose_victim(&acc(0));
         assert_ne!(v, 1, "recently reused entry must not be the victim");
     }

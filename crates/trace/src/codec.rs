@@ -171,8 +171,7 @@ pub fn read_trace(data: &[u8]) -> Result<Vec<TraceRecord>, CodecError> {
         let delta = zigzag_decode(get_varint(&mut buf)?);
         let pc = prev_pc.wrapping_add(delta as u64);
         prev_pc = pc;
-        let effective_address =
-            if flags & FLAG_HAS_EA != 0 { get_varint(&mut buf)? } else { 0 };
+        let effective_address = if flags & FLAG_HAS_EA != 0 { get_varint(&mut buf)? } else { 0 };
         let target = if flags & FLAG_HAS_TARGET != 0 { get_varint(&mut buf)? } else { 0 };
         out.push(TraceRecord {
             pc,
@@ -237,10 +236,7 @@ mod tests {
     fn truncated_buffer_rejected() {
         let bytes = write_trace(&[TraceRecord::load(0x400000, 0x12345678)]);
         for cut in 0..bytes.len() {
-            assert!(
-                read_trace(&bytes[..cut]).is_err(),
-                "prefix of length {cut} must not decode"
-            );
+            assert!(read_trace(&bytes[..cut]).is_err(), "prefix of length {cut} must not decode");
         }
     }
 
@@ -256,6 +252,62 @@ mod tests {
     fn zigzag_is_involutive() {
         for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 0x7fff_ffff_ffff] {
             assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+
+        /// Any encodable record: the codec stores effective addresses only
+        /// for memory kinds and targets only for branch kinds, so those
+        /// fields are zeroed where the format does not carry them.
+        fn arb_record() -> impl Strategy<Value = TraceRecord> {
+            (0usize..InstrKind::ALL.len(), any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>())
+                .prop_map(|(k, pc, ea, target, taken)| {
+                    let kind = InstrKind::ALL[k];
+                    TraceRecord {
+                        pc,
+                        kind,
+                        effective_address: if kind.is_memory() { ea } else { 0 },
+                        target: if kind.is_branch() { target } else { 0 },
+                        taken,
+                    }
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn arbitrary_streams_roundtrip(trace in vec(arb_record(), 0..200usize)) {
+                let bytes = write_trace(&trace);
+                prop_assert_eq!(read_trace(&bytes).as_ref(), Ok(&trace));
+            }
+
+            #[test]
+            fn every_strict_prefix_is_rejected(trace in vec(arb_record(), 0..40usize)) {
+                // The header declares a record count, so no strict prefix
+                // of a valid encoding may decode successfully.
+                let bytes = write_trace(&trace);
+                for cut in 0..bytes.len() {
+                    prop_assert!(
+                        read_trace(&bytes[..cut]).is_err(),
+                        "prefix of length {} decoded",
+                        cut
+                    );
+                }
+            }
+
+            #[test]
+            fn version_byte_is_enforced(trace in vec(arb_record(), 0..8usize), v in any::<u8>()) {
+                let mut bytes = write_trace(&trace);
+                bytes[4] = v;
+                if v == VERSION {
+                    prop_assert!(read_trace(&bytes).is_ok());
+                } else {
+                    prop_assert_eq!(read_trace(&bytes), Err(CodecError::UnsupportedVersion(v)));
+                }
+            }
         }
     }
 }

@@ -66,10 +66,7 @@ impl Default for ContextCopy {
 
 impl WorkloadGen for ContextCopy {
     fn name(&self) -> String {
-        format!(
-            "mixed.ctxcopy.h{}s{}c{}",
-            self.hot_pages, self.stream_calls, self.pages_per_call
-        )
+        format!("mixed.ctxcopy.h{}s{}c{}", self.hot_pages, self.stream_calls, self.pages_per_call)
     }
 
     fn category(&self) -> Category {

@@ -26,13 +26,7 @@ pub struct Gups {
 
 impl Default for Gups {
     fn default() -> Self {
-        Gups {
-            table_pages: 1 << 13,
-            zipf_s: 1.0,
-            batch: 32,
-            compute_per_update: 6,
-            param_pages: 8,
-        }
+        Gups { table_pages: 1 << 13, zipf_s: 1.0, batch: 32, compute_per_update: 6, param_pages: 8 }
     }
 }
 

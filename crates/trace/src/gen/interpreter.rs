@@ -133,7 +133,7 @@ impl WorkloadGen for Interpreter {
             em.push(TraceRecord::load(dispatch.pc(0), stack_base + 8)); // opcode fetch
             em.push(TraceRecord::indirect_jump(dispatch_pc, handler.entry()));
             dispatch_pc = handler.pc(4); // next dispatch runs from this epilogue
-            // Handler body: a few ALU ops, then the shared memory helper.
+                                         // Handler body: a few ALU ops, then the shared memory helper.
             em.push(TraceRecord::alu(handler.pc(0)));
             em.push(TraceRecord::alu(handler.pc(1)));
             em.push(TraceRecord::call(handler.pc(2), touch.entry()));
@@ -178,11 +178,8 @@ mod tests {
     fn dispatch_is_indirect_and_spread_over_handlers() {
         let g = Interpreter::default();
         let t = g.generate(60_000, 1);
-        let targets: HashSet<u64> = t
-            .iter()
-            .filter(|r| r.kind == InstrKind::IndirectJump)
-            .map(|r| r.target)
-            .collect();
+        let targets: HashSet<u64> =
+            t.iter().filter(|r| r.kind == InstrKind::IndirectJump).map(|r| r.target).collect();
         assert!(targets.len() > 32, "dispatch must reach many handlers, got {}", targets.len());
     }
 

@@ -85,8 +85,8 @@ impl WorkloadGen for PointerChase {
                 if rng.gen_range(0..self.hop_interval.max(1)) == 0 {
                     cluster = zipf.sample(&mut rng) as u64;
                 }
-                let page = cluster * self.cluster_pages
-                    + rng.gen_range(0..self.cluster_pages.max(1));
+                let page =
+                    cluster * self.cluster_pages + rng.gen_range(0..self.cluster_pages.max(1));
                 let node = pool_base + page * PAGE_SIZE + rng.gen_range(0..32u64) * 128;
                 em.push(TraceRecord::load(walker.pc(2), node)); // next pointer
                 em.push(TraceRecord::load(walker.pc(3), node + 8)); // payload
@@ -129,10 +129,7 @@ mod tests {
         let mut cluster_visits: HashMap<u64, u64> = HashMap::new();
         for r in &t {
             if let Some(v) = r.data_vpn() {
-                cluster_visits
-                    .entry(v / g.cluster_pages)
-                    .and_modify(|c| *c += 1)
-                    .or_insert(1);
+                cluster_visits.entry(v / g.cluster_pages).and_modify(|c| *c += 1).or_insert(1);
             }
         }
         let mut counts: Vec<u64> = cluster_visits.values().copied().collect();

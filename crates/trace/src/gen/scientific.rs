@@ -122,11 +122,8 @@ mod tests {
     fn shared_leaf_pcs_for_all_operands() {
         let g = TiledStencil::default();
         let t = g.generate(5_000, 0);
-        let load_pcs: std::collections::HashSet<u64> = t
-            .iter()
-            .filter(|r| r.kind == crate::record::InstrKind::Load)
-            .map(|r| r.pc)
-            .collect();
+        let load_pcs: std::collections::HashSet<u64> =
+            t.iter().filter(|r| r.kind == crate::record::InstrKind::Load).map(|r| r.pc).collect();
         assert_eq!(load_pcs.len(), 2, "A and B are loaded from the shared leaf");
     }
 }

@@ -65,7 +65,9 @@ impl WorkloadGen for SpecLoops {
                         let addr = base + page * PAGE_SIZE + step * self.stride_bytes;
                         em.push(TraceRecord::load(kernel.pc(0), addr));
                         em.push(TraceRecord::alu(kernel.pc(1)));
-                        if self.scalar_every > 0 && elem.is_multiple_of(u64::from(self.scalar_every)) {
+                        if self.scalar_every > 0
+                            && elem.is_multiple_of(u64::from(self.scalar_every))
+                        {
                             em.push(TraceRecord::store(kernel.pc(2), scalar_base + 64));
                         }
                         elem += 1;
@@ -111,12 +113,7 @@ mod tests {
 
     #[test]
     fn pages_visited_cyclically() {
-        let g = SpecLoops {
-            arrays: 2,
-            pages_per_array: 4,
-            stride_bytes: 1024,
-            scalar_every: 0,
-        };
+        let g = SpecLoops { arrays: 2, pages_per_array: 4, stride_bytes: 1024, scalar_every: 0 };
         let t = g.generate(2_000, 0);
         let pages: Vec<u64> = t.iter().filter_map(|r| r.data_vpn()).collect();
         // The same page sequence must repeat after one full sweep.

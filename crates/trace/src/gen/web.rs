@@ -62,8 +62,7 @@ impl WorkloadGen for WebServe {
         let handler_code: Vec<CodeBlock> = (0..self.handlers)
             .map(|_| CodeBlock::new(asp.code_region(self.pages_per_handler)))
             .collect();
-        let handler_data: Vec<u64> =
-            (0..self.handlers).map(|_| asp.data_region(1)).collect();
+        let handler_data: Vec<u64> = (0..self.handlers).map(|_| asp.data_region(1)).collect();
         let session_base = asp.data_region(self.session_pages);
 
         let zipf = Zipf::new(self.handlers as usize, self.zipf_s);

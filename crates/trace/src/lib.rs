@@ -32,9 +32,9 @@ pub mod stats;
 pub mod suite;
 
 pub use codec::{read_trace, write_trace, CodecError};
+pub use gen::Category;
 pub use record::{BranchClass, InstrKind, TraceRecord};
 pub use stats::TraceStats;
-pub use gen::Category;
 pub use suite::{BenchmarkSpec, SuiteConfig};
 
 /// Number of bytes covered by one page (the paper studies the standard 4 KB

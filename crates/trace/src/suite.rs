@@ -146,6 +146,36 @@ pub fn build_suite(config: &SuiteConfig) -> Vec<BenchmarkSpec> {
     out
 }
 
+/// The benchmark at `index` of the suite `config` describes, without
+/// cloning the rest of the suite — `nth_benchmark(c, i)` equals
+/// `build_suite(c)[i]`. Returns `None` when `index` is out of range.
+///
+/// ```
+/// use chirp_trace::suite::{build_suite, nth_benchmark, SuiteConfig};
+///
+/// let config = SuiteConfig { benchmarks: 40 };
+/// assert_eq!(nth_benchmark(&config, 7).as_ref(), build_suite(&config).get(7));
+/// ```
+pub fn nth_benchmark(config: &SuiteConfig, index: usize) -> Option<BenchmarkSpec> {
+    let want = config.benchmarks;
+    if index >= want {
+        return None;
+    }
+    let grid = enumerate_grid();
+    if want <= grid.len() {
+        Some(grid[index * grid.len() / want].clone())
+    } else if index < grid.len() {
+        Some(grid[index].clone())
+    } else {
+        // Mirrors the extra-seed fill rounds of `build_suite`: each full
+        // pass over the grid adds 1000 to the seed.
+        let extra = index - grid.len();
+        let round = (extra / grid.len()) as u64 + 1;
+        let base = &grid[extra % grid.len()];
+        Some(BenchmarkSpec::new(base.spec.clone(), base.seed + round * 1000))
+    }
+}
+
 /// Enumerates the canonical parameter grid (≥ 870 entries), interleaving
 /// categories so any even sample keeps the mix.
 fn enumerate_grid() -> Vec<BenchmarkSpec> {
@@ -396,6 +426,23 @@ mod tests {
         for b in &suite {
             let t = b.generate(2_000);
             assert_eq!(t.len(), 2_000, "{} must generate exactly 2000 records", b.name);
+        }
+    }
+
+    #[test]
+    fn nth_benchmark_matches_built_suite() {
+        let grid_len = enumerate_grid().len();
+        for size in [1usize, 7, 96, grid_len, grid_len + 10, 2 * grid_len + 3] {
+            let config = SuiteConfig { benchmarks: size };
+            let suite = build_suite(&config);
+            for index in [0, size / 2, size - 1] {
+                assert_eq!(
+                    nth_benchmark(&config, index).as_ref(),
+                    suite.get(index),
+                    "size {size}, index {index}"
+                );
+            }
+            assert_eq!(nth_benchmark(&config, size), None);
         }
     }
 

@@ -11,12 +11,8 @@ use chirp_repro::sim::{PolicyKind, SimConfig, Simulator};
 use chirp_repro::trace::gen::{ScanIndex, WorkloadGen};
 
 fn main() {
-    let workload = ScanIndex {
-        index_pages: 1024,
-        zipf_s: 0.9,
-        scan_burst_pages: 64,
-        ..Default::default()
-    };
+    let workload =
+        ScanIndex { index_pages: 1024, zipf_s: 0.9, scan_burst_pages: 64, ..Default::default() };
     let trace = workload.generate(2_000_000, 7);
     println!("workload: {} ({} instructions)", workload.name(), trace.len());
     println!(

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the test suite.
+#
+#   scripts/ci.sh          run everything
+#   scripts/ci.sh --fix    apply rustfmt instead of checking it
+#
+# Mirrors what a hosted pipeline would run; keep it green before pushing.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--fix" ]]; then
+    echo "==> cargo fmt"
+    cargo fmt --all
+else
+    echo "==> cargo fmt --check"
+    cargo fmt --all --check
+fi
+
+echo "==> cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "ci: all checks passed"

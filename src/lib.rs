@@ -10,5 +10,6 @@ pub use chirp_core as core;
 pub use chirp_learn as learn;
 pub use chirp_mem as mem;
 pub use chirp_sim as sim;
+pub use chirp_store as store;
 pub use chirp_tlb as tlb;
 pub use chirp_trace as trace;

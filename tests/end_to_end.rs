@@ -18,10 +18,7 @@ fn chirp_beats_lru_on_the_context_copy_mechanism_workload() {
     let trace = ContextCopy::default().generate(600_000, 1);
     let lru = mpki_for(PolicyKind::Lru, &trace, 1);
     let chirp = mpki_for(PolicyKind::Chirp(ChirpConfig::default()), &trace, 1);
-    assert!(
-        chirp < lru * 0.8,
-        "CHiRP ({chirp:.2}) must cut at least 20% of LRU misses ({lru:.2})"
-    );
+    assert!(chirp < lru * 0.8, "CHiRP ({chirp:.2}) must cut at least 20% of LRU misses ({lru:.2})");
 }
 
 #[test]

@@ -2,8 +2,8 @@
 //! renders non-empty output containing its key rows.
 
 use chirp_repro::sim::experiments::{
-    fig10_penalty, fig11_access_rate, fig1_efficiency, fig2_history, fig3_adaline,
-    fig6_ablation, fig7_mpki, fig8_speedup, fig9_table_size, opt_bound,
+    fig10_penalty, fig11_access_rate, fig1_efficiency, fig2_history, fig3_adaline, fig6_ablation,
+    fig7_mpki, fig8_speedup, fig9_table_size, opt_bound,
 };
 use chirp_repro::sim::RunnerConfig;
 use chirp_repro::trace::suite::{build_suite, SuiteConfig};

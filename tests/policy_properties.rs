@@ -35,10 +35,16 @@ enum Event {
 
 fn event_strategy() -> impl Strategy<Value = Event> {
     prop_oneof![
-        (0u64..1 << 20, 0u64..256, any::<bool>())
-            .prop_map(|(pc, vpn, data)| Event::Access { pc: pc << 2, vpn, data }),
-        (0u64..1 << 20, 0u8..3, any::<bool>())
-            .prop_map(|(pc, class, taken)| Event::Branch { pc: pc << 2, class, taken }),
+        (0u64..1 << 20, 0u64..256, any::<bool>()).prop_map(|(pc, vpn, data)| Event::Access {
+            pc: pc << 2,
+            vpn,
+            data
+        }),
+        (0u64..1 << 20, 0u8..3, any::<bool>()).prop_map(|(pc, class, taken)| Event::Branch {
+            pc: pc << 2,
+            class,
+            taken
+        }),
     ]
 }
 

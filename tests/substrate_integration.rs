@@ -64,11 +64,7 @@ fn all_policies_keep_the_tlb_consistent_under_load() {
             assert!(out.way < geom.ways);
         }
         let stats = tlb.stats();
-        assert_eq!(
-            stats.accesses() as usize,
-            trace.len(),
-            "{name}: one access per instruction"
-        );
+        assert_eq!(stats.accesses() as usize, trace.len(), "{name}: one access per instruction");
         assert!(tlb.efficiency() >= 0.0 && tlb.efficiency() <= 1.0, "{name}: efficiency in range");
     }
 }
@@ -84,10 +80,7 @@ fn branch_unit_learns_generated_control_flow() {
     let total = stats.correct + stats.mispredicted;
     assert!(total > 10_000, "workload must contain branches");
     let accuracy = stats.correct as f64 / total as f64;
-    assert!(
-        accuracy > 0.75,
-        "loop-structured control flow must be predictable, got {accuracy:.3}"
-    );
+    assert!(accuracy > 0.75, "loop-structured control flow must be predictable, got {accuracy:.3}");
 }
 
 #[test]

@@ -1,0 +1,92 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use crate::{Strategy, TestRng};
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// Acceptable size arguments: an exact `usize` or a half-open range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max_exclusive: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max_exclusive: r.end }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.below((self.max_exclusive - self.min) as u64) as usize
+    }
+}
+
+/// Strategy yielding `Vec`s of values from `element` with a length drawn
+/// from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy yielding `HashSet`s of distinct values from `element` with a
+/// size drawn from `size`. Panics if the element domain cannot supply
+/// enough distinct values in a bounded number of draws.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy { element, size: size.into() }
+}
+
+/// The strategy returned by [`hash_set`].
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let want = self.size.sample(rng);
+        let mut out = HashSet::with_capacity(want);
+        // Bounded retries: a tight domain (e.g. 0..n with n ≈ want) may
+        // need several draws per distinct element.
+        let mut budget = want.saturating_mul(1000).max(1000);
+        while out.len() < want {
+            out.insert(self.element.generate(rng));
+            budget -= 1;
+            assert!(budget > 0, "hash_set strategy could not reach {want} distinct values");
+        }
+        out
+    }
+}

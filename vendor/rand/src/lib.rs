@@ -1,0 +1,267 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements the subset of the `rand` API the workspace uses — `SmallRng`
+//! seeded through [`SeedableRng::seed_from_u64`], plus the [`Rng`] helpers
+//! `gen`, `gen_range` and `gen_bool` — because the build environment cannot
+//! reach crates.io. `SmallRng` here is xoshiro256++ with a splitmix64 seed
+//! expander: deterministic for a given seed and statistically strong enough
+//! for workload synthesis. Sequences differ from upstream `rand`'s
+//! `SmallRng`, so absolute experiment numbers shift; all cross-policy
+//! comparisons remain valid because every policy replays identical traces.
+
+use std::ops::Range;
+
+/// Core RNG interface: a source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32-bit word (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling helpers, blanket-implemented for every [`RngCore`].
+///
+/// Methods take type parameters, so this trait is not object-safe; use
+/// generic bounds (`R: Rng + ?Sized`) rather than `dyn Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open; must be non-empty). As in
+    /// upstream rand, the output type drives inference of the range's
+    /// element type.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed via a splitmix64 expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from a "standard" distribution: `[0, 1)` for floats,
+/// uniform for integers and `bool`.
+pub trait Standard {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 high bits → [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges samplable by [`Rng::gen_range`] producing values of `T`.
+pub trait SampleRange<T> {
+    /// Samples uniformly from the range; panics if the range is empty.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Integer types uniformly samplable over a `Range` — bridged through a
+/// sign-offset `u64` so one blanket impl covers every width (a single
+/// generic impl is what lets `gen_range(0..1000)`'s literal adopt the type
+/// the surrounding expression expects, as with upstream rand).
+pub trait UniformInt: Copy {
+    /// Maps to an order-preserving unsigned key.
+    fn to_key(self) -> u64;
+    /// Inverse of [`Self::to_key`].
+    fn from_key(key: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn to_key(self) -> u64 {
+                // Sign-flip keeps ordering for signed types; harmless
+                // (cancels out) for unsigned ones narrower than 64 bits.
+                (self as i64 as u64) ^ (1 << 63)
+            }
+            #[inline]
+            fn from_key(key: u64) -> $t {
+                (key ^ (1 << 63)) as i64 as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, i8, i16, i32, i64, isize);
+
+// u64/usize must not round-trip through i64 (values above i64::MAX).
+impl UniformInt for u64 {
+    #[inline]
+    fn to_key(self) -> u64 {
+        self
+    }
+    #[inline]
+    fn from_key(key: u64) -> u64 {
+        key
+    }
+}
+
+impl UniformInt for usize {
+    #[inline]
+    fn to_key(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_key(key: u64) -> usize {
+        key as usize
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_key(), self.end.to_key());
+        assert!(lo < hi, "cannot sample empty range");
+        let span = hi.wrapping_sub(lo);
+        // Multiply-shift bounded sampling (Lemire); span == 0 would mean an
+        // empty range, already rejected above.
+        let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+        T::from_key(lo.wrapping_add(draw))
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Named RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small, fast RNG: xoshiro256++ (Blackman & Vigna).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let u = rng.gen_range(0usize..1);
+            assert_eq!(u, 0);
+            let s = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_samples() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        // span == u64::MAX triggers the span==0 wrap path only for 0..0
+        // which is empty; 0..u64::MAX must stay in-bounds.
+        for _ in 0..1000 {
+            let v = rng.gen_range(0u64..u64::MAX);
+            assert!(v < u64::MAX);
+        }
+    }
+}

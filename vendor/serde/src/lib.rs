@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! just enough of serde's surface for the workspace to compile: the
+//! `Serialize`/`Deserialize` trait names (with blanket impls, so any
+//! `T: Serialize` bound is satisfiable) and, under the `derive` feature,
+//! re-exports of the no-op derive macros. No actual serialisation is
+//! implemented — persistent formats in this repo (the `chirp-store` archive
+//! manifest and run ledger) are hand-rolled instead.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types (the lifetime parameter mirrors real serde so bounds line up).
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The reproduction repo uses `#[derive(Serialize, Deserialize)]` purely as
+//! documentation of which structures are meant to be persistable; nothing in
+//! the workspace performs serde-based (de)serialisation (the store layer
+//! hand-rolls its JSON). These derives therefore expand to nothing, which
+//! keeps every annotated type compiling without the real serde machinery —
+//! the build environment has no access to crates.io.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
