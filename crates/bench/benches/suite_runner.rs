@@ -1,0 +1,150 @@
+//! Suite-runner benchmark: packed-trace scheduler vs the flat benchwise
+//! baseline, at 1 and N threads, over a 4-benchmark × 9-policy matrix.
+//!
+//! Prints the usual Criterion lines and appends one JSON object per
+//! invocation to `BENCH_runner.json` at the workspace root (override with
+//! `CHIRP_BENCH_OUT`), so wall-clock and peak-trace-memory trajectories
+//! accumulate across commits. Peak memory for the scheduler is measured
+//! (the scheduler tracks resident packed bytes); for the baseline it is
+//! the analytic peak — `min(threads, benchmarks)` flat 40-byte-per-record
+//! traces resident at once, which the benchwise design guarantees.
+
+use chirp_core::ChirpConfig;
+use chirp_sim::baseline::run_suite_benchwise;
+use chirp_sim::{last_scheduler_summary, run_suite, PolicyKind, RunnerConfig};
+use chirp_trace::suite::{build_suite, BenchmarkSpec, SuiteConfig};
+use chirp_trace::TraceRecord;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+
+const BENCHMARKS: usize = 4;
+const INSTRUCTIONS: usize = 60_000;
+const THREADS_HIGH: usize = 8;
+
+/// The 9-policy lineup: the paper's six plus the extension baselines and
+/// a short-history CHiRP variant.
+fn lineup9() -> Vec<PolicyKind> {
+    let mut policies = PolicyKind::paper_lineup();
+    policies.push(PolicyKind::Drrip);
+    policies.push(PolicyKind::PerceptronReuse);
+    policies.push(PolicyKind::Chirp(ChirpConfig { path_length: 8, ..ChirpConfig::default() }));
+    policies
+}
+
+fn config(threads: usize) -> RunnerConfig {
+    RunnerConfig { instructions: INSTRUCTIONS, threads, ..Default::default() }
+}
+
+/// Median of the recorded per-iteration wall times, in seconds.
+fn median_secs(samples: &Mutex<Vec<f64>>) -> f64 {
+    let mut v = samples.lock().expect("samples lock").clone();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    v.get(v.len() / 2).copied().unwrap_or(0.0)
+}
+
+struct Measured {
+    name: &'static str,
+    median_secs: f64,
+    peak_trace_bytes: u64,
+}
+
+fn bench_suite_runner(c: &mut Criterion) {
+    let suite: Vec<BenchmarkSpec> = build_suite(&SuiteConfig { benchmarks: BENCHMARKS });
+    let policies = lineup9();
+
+    // Equivalence sanity before timing anything: the two runners must
+    // agree bit-for-bit or the comparison is meaningless.
+    let reference = run_suite_benchwise(&suite, &policies, &config(2));
+    assert_eq!(
+        run_suite(&suite, &policies, &config(2)),
+        reference,
+        "scheduler must reproduce the baseline bit-for-bit"
+    );
+
+    let flat_bytes_per_trace = (INSTRUCTIONS * std::mem::size_of::<TraceRecord>()) as u64;
+    let mut measured: Vec<Measured> = Vec::new();
+    let mut group = c.benchmark_group("suite_runner");
+    group.sample_size(3);
+
+    for (name, threads, benchwise) in [
+        ("baseline_benchwise_1t", 1, true),
+        ("baseline_benchwise_8t", THREADS_HIGH, true),
+        ("sched_packed_1t", 1, false),
+        ("sched_packed_8t", THREADS_HIGH, false),
+    ] {
+        let samples = Mutex::new(Vec::new());
+        let mut peak_bytes = 0u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = config(threads);
+                let t0 = Instant::now();
+                let runs = if benchwise {
+                    run_suite_benchwise(&suite, &policies, &cfg)
+                } else {
+                    run_suite(&suite, &policies, &cfg)
+                };
+                samples.lock().expect("samples lock").push(t0.elapsed().as_secs_f64());
+                runs
+            })
+        });
+        peak_bytes = if benchwise {
+            threads.min(BENCHMARKS) as u64 * flat_bytes_per_trace
+        } else {
+            last_scheduler_summary().expect("scheduler ran").peak_resident_bytes
+        }
+        .max(peak_bytes);
+        measured.push(Measured {
+            name,
+            median_secs: median_secs(&samples),
+            peak_trace_bytes: peak_bytes,
+        });
+    }
+    group.finish();
+
+    write_trajectory(&measured);
+}
+
+/// Appends one JSON line with every measurement plus the derived headline
+/// ratios to the trajectory file.
+fn write_trajectory(measured: &[Measured]) {
+    let by_name = |n: &str| measured.iter().find(|m| m.name == n).expect("measured");
+    let base_8t = by_name("baseline_benchwise_8t");
+    let sched_8t = by_name("sched_packed_8t");
+    let speedup_8t = base_8t.median_secs / sched_8t.median_secs.max(1e-9);
+    let mem_ratio = sched_8t.peak_trace_bytes as f64 / base_8t.peak_trace_bytes.max(1) as f64;
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let fields: Vec<String> = measured
+        .iter()
+        .map(|m| {
+            format!(
+                "\"{}\":{{\"median_secs\":{:.6},\"peak_trace_bytes\":{}}}",
+                m.name, m.median_secs, m.peak_trace_bytes
+            )
+        })
+        .collect();
+    let line = format!(
+        "{{\"bench\":\"suite_runner\",\"benchmarks\":{BENCHMARKS},\"policies\":9,\
+         \"instructions\":{INSTRUCTIONS},\"cpus\":{cpus},{},\
+         \"speedup_8t\":{speedup_8t:.3},\"peak_mem_ratio_8t\":{mem_ratio:.4}}}",
+        fields.join(",")
+    );
+
+    let path = std::env::var_os("CHIRP_BENCH_OUT").map(PathBuf::from).unwrap_or_else(|| {
+        // crates/bench/Cargo.toml -> workspace root is two levels up.
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_runner.json")
+    });
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .expect("open BENCH_runner.json");
+    writeln!(f, "{line}").expect("append BENCH_runner.json");
+    println!("appended suite_runner trajectory to {}", path.display());
+}
+
+criterion_group!(benches, bench_suite_runner);
+criterion_main!(benches);

@@ -13,6 +13,7 @@ fn main() {
     let config = args.runner_config();
     let result = fig10_penalty::run(&suite, &config, &PAPER_PENALTIES);
     println!("{}", fig10_penalty::render(&result));
+    chirp_bench::print_scheduler_summary("fig10");
 
     let mut headers = vec!["penalty".to_string()];
     headers.extend(result.series.iter().map(|(n, _)| n.clone()));

@@ -13,6 +13,7 @@ fn main() {
     let config = args.runner_config();
     let result = fig11_access_rate::run(&suite, &config);
     println!("{}", fig11_access_rate::render(&result));
+    chirp_bench::print_scheduler_summary("fig11");
 
     let mut csv = Table::new(
         ["benchmark"]

@@ -13,6 +13,7 @@ fn main() {
     let config = args.runner_config();
     let result = fig1_efficiency::run(&suite, &config);
     println!("{}", fig1_efficiency::render(&result));
+    chirp_bench::print_scheduler_summary("fig1");
 
     let mut csv = Table::new(
         ["benchmark"]

@@ -13,6 +13,7 @@ fn main() {
     let config = args.runner_config();
     let result = fig2_history::run(&suite, &config, &PAPER_LENGTHS);
     println!("{}", fig2_history::render(&result));
+    chirp_bench::print_scheduler_summary("fig2");
 
     let mut csv = Table::new(["length", "pc_only", "with_branches"]);
     for (i, len) in result.lengths.iter().enumerate() {

@@ -13,6 +13,7 @@ fn main() {
     let config = args.runner_config();
     let result = fig3_adaline::run(&suite, &config);
     println!("{}", fig3_adaline::render(&result));
+    chirp_bench::print_scheduler_summary("fig3");
 
     let mut headers = vec!["benchmark".to_string(), "accuracy".to_string()];
     headers.extend((0..fig3_adaline::PC_BITS).map(|b| format!("bit{b}")));

@@ -13,6 +13,7 @@ fn main() {
     let config = args.runner_config();
     let result = fig6_ablation::run(&suite, &config);
     println!("{}", fig6_ablation::render(&result));
+    chirp_bench::print_scheduler_summary("fig6");
 
     let mut csv = Table::new(["variant", "reduction_vs_lru"]);
     for (name, r) in &result.rungs {

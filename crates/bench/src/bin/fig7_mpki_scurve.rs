@@ -13,6 +13,7 @@ fn main() {
     let config = args.runner_config();
     let result = fig7_mpki::run(&suite, &config);
     println!("{}", fig7_mpki::render(&result));
+    chirp_bench::print_scheduler_summary("fig7");
 
     let mut csv = Table::new(
         ["benchmark"]

@@ -13,6 +13,7 @@ fn main() {
     let config = args.runner_config();
     let result = fig8_speedup::run(&suite, &config);
     println!("{}", fig8_speedup::render(&result));
+    chirp_bench::print_scheduler_summary("fig8");
 
     let mut csv = Table::new(
         ["benchmark"]

@@ -13,6 +13,7 @@ fn main() {
     let config = args.runner_config();
     let result = fig9_table_size::run(&suite, &config);
     println!("{}", fig9_table_size::render(&result));
+    chirp_bench::print_scheduler_summary("fig9");
 
     let mut csv = Table::new(["table_bytes", "improvement_vs_lru"]);
     for (bytes, r) in &result.points {

@@ -4,7 +4,7 @@
 //! `run_all --benchmarks 870 --instructions 1_000_000` regenerates the
 //! committed EXPERIMENTS.md numbers.
 
-use chirp_bench::HarnessArgs;
+use chirp_bench::{print_scheduler_summary, HarnessArgs};
 use chirp_sim::experiments::{
     fig10_penalty, fig11_access_rate, fig1_efficiency, fig2_history, fig3_adaline, fig6_ablation,
     fig7_mpki, fig8_speedup, fig9_table_size,
@@ -48,14 +48,17 @@ fn main() {
         "==== Figure 11 ====\n{}",
         fig11_access_rate::render(&fig11_access_rate::from_runs(&runs, policies.len()))
     );
+    print_scheduler_summary("figures 1/7/8/11");
     drop(runs);
     section("Figure 6");
     println!("==== Figure 6 ====\n{}", fig6_ablation::render(&fig6_ablation::run(&suite, &config)));
+    print_scheduler_summary("figure 6");
     section("Figure 9");
     println!(
         "==== Figure 9 ====\n{}",
         fig9_table_size::render(&fig9_table_size::run(&suite, &config))
     );
+    print_scheduler_summary("figure 9");
 
     // The sweeps are the heavy ones: run them on an even ~64-benchmark
     // sample of the suite.
@@ -66,6 +69,7 @@ fn main() {
         small.len(),
         fig2_history::render(&fig2_history::run(&small, &config, &fig2_history::PAPER_LENGTHS))
     );
+    print_scheduler_summary("figure 2");
     section("Figure 10 (subset)");
     println!(
         "==== Figure 10 (subset of {} benchmarks) ====\n{}",
@@ -76,6 +80,7 @@ fn main() {
             &fig10_penalty::PAPER_PENALTIES
         ))
     );
+    print_scheduler_summary("figure 10");
     section("Figure 3 (subset)");
     let tiny: Vec<_> = suite.iter().step_by(8.max(suite.len() / 24)).cloned().collect();
     println!(
@@ -83,6 +88,7 @@ fn main() {
         tiny.len(),
         fig3_adaline::render(&fig3_adaline::run(&tiny, &config))
     );
+    print_scheduler_summary("figure 3");
 
     eprintln!("[{:>6.1}s] done", t0.elapsed().as_secs_f64());
 }

@@ -8,6 +8,8 @@
 //! --threads T         worker threads (default: available parallelism)
 //! --store DIR         chirp-store directory: archive traces, skip runs
 //!                     whose results are already in the ledger
+//! --mem-budget BYTES  cap on packed-trace bytes in flight across workers
+//!                     (suffixes K/M/G; default unbounded)
 //! --full              shorthand for the paper-scale run (870 benchmarks)
 //! ```
 
@@ -25,6 +27,8 @@ pub struct HarnessArgs {
     pub threads: usize,
     /// Optional `chirp-store` directory for incremental execution.
     pub store: Option<PathBuf>,
+    /// Optional cap on packed-trace bytes resident across workers.
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for HarnessArgs {
@@ -34,6 +38,7 @@ impl Default for HarnessArgs {
             instructions: 1_000_000,
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             store: None,
+            mem_budget: None,
         }
     }
 }
@@ -56,13 +61,19 @@ impl HarnessArgs {
                     let dir = it.next().ok_or_else(|| format!("{arg} needs a directory"))?;
                     out.store = Some(PathBuf::from(dir));
                 }
+                "--mem-budget" => {
+                    let v = it.next().ok_or_else(|| format!("{arg} needs a byte count"))?;
+                    out.mem_budget = Some(parse_bytes(&v).ok_or_else(|| {
+                        format!("{arg}: invalid byte count {v} (use e.g. 64M, 2G, 500000)")
+                    })?);
+                }
                 "--full" => {
                     out.benchmarks = 870;
                     out.instructions = 10_000_000;
                 }
                 "--help" | "-h" => {
                     return Err("usage: [--benchmarks N] [--instructions M] [--threads T] \
-                         [--store DIR] [--full]"
+                         [--store DIR] [--mem-budget BYTES[K|M|G]] [--full]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag: {other}")),
@@ -70,6 +81,9 @@ impl HarnessArgs {
         }
         if out.benchmarks == 0 || out.instructions == 0 || out.threads == 0 {
             return Err("flag values must be positive".to_string());
+        }
+        if out.mem_budget == Some(0) {
+            return Err("--mem-budget must be positive".to_string());
         }
         Ok(out)
     }
@@ -87,15 +101,40 @@ impl HarnessArgs {
     }
 
     /// The [`RunnerConfig`] these arguments describe — the single place
-    /// that maps harness flags (including `--store`) onto the runner.
+    /// that maps harness flags (including `--store` and `--mem-budget`)
+    /// onto the runner.
     pub fn runner_config(&self) -> RunnerConfig {
         RunnerConfig {
             instructions: self.instructions,
             threads: self.threads,
             store: self.store.clone(),
+            mem_budget: self.mem_budget,
             ..Default::default()
         }
     }
+}
+
+/// Prints the scheduler's one-line summary for the experiment that just
+/// ran, tagged with `label`. No-op if the runner has not scheduled
+/// anything yet (e.g. every pair came from the ledger).
+pub fn print_scheduler_summary(label: &str) {
+    if let Some(summary) = chirp_sim::last_scheduler_summary() {
+        println!("[scheduler] {label}: {}", summary.render());
+    }
+}
+
+/// Parses a byte count with an optional K/M/G (binary) suffix; `_`
+/// separators are allowed in the digits. Returns `None` on anything else.
+fn parse_bytes(v: &str) -> Option<u64> {
+    let v = v.replace('_', "");
+    let (digits, shift) = match v.as_bytes().last()? {
+        b'k' | b'K' => (&v[..v.len() - 1], 10),
+        b'm' | b'M' => (&v[..v.len() - 1], 20),
+        b'g' | b'G' => (&v[..v.len() - 1], 30),
+        _ => (v.as_str(), 0),
+    };
+    let n: u64 = digits.parse().ok()?;
+    n.checked_mul(1u64 << shift)
 }
 
 fn next_num<I: Iterator<Item = String>>(it: &mut I, flag: &str) -> Result<usize, String> {
@@ -117,13 +156,23 @@ mod tests {
         assert_eq!(a.benchmarks, 96);
         assert_eq!(a.instructions, 1_000_000);
         assert_eq!(a.store, None);
+        assert_eq!(a.mem_budget, None);
     }
 
     #[test]
     fn parses_flags() {
         let a =
             parse(&["--benchmarks", "10", "--instructions", "5_000", "--threads", "2"]).unwrap();
-        assert_eq!(a, HarnessArgs { benchmarks: 10, instructions: 5_000, threads: 2, store: None });
+        assert_eq!(
+            a,
+            HarnessArgs {
+                benchmarks: 10,
+                instructions: 5_000,
+                threads: 2,
+                store: None,
+                mem_budget: None
+            }
+        );
     }
 
     #[test]
@@ -142,6 +191,26 @@ mod tests {
         assert_eq!(config.instructions, a.instructions);
         assert_eq!(config.threads, a.threads);
         assert!(parse(&["--store"]).is_err(), "--store requires a directory");
+    }
+
+    #[test]
+    fn mem_budget_parses_suffixes_and_reaches_runner_config() {
+        assert_eq!(parse(&["--mem-budget", "4096"]).unwrap().mem_budget, Some(4096));
+        assert_eq!(parse(&["--mem-budget", "64K"]).unwrap().mem_budget, Some(64 << 10));
+        assert_eq!(parse(&["--mem-budget", "64m"]).unwrap().mem_budget, Some(64 << 20));
+        assert_eq!(parse(&["--mem-budget", "2G"]).unwrap().mem_budget, Some(2 << 30));
+        assert_eq!(parse(&["--mem-budget", "1_024"]).unwrap().mem_budget, Some(1024));
+        let config = parse(&["--mem-budget", "8M"]).unwrap().runner_config();
+        assert_eq!(config.mem_budget, Some(8 << 20));
+    }
+
+    #[test]
+    fn mem_budget_rejects_garbage() {
+        assert!(parse(&["--mem-budget"]).is_err(), "needs a value");
+        assert!(parse(&["--mem-budget", "lots"]).is_err());
+        assert!(parse(&["--mem-budget", "0"]).is_err());
+        assert!(parse(&["--mem-budget", "M"]).is_err(), "suffix without digits");
+        assert!(parse(&["--mem-budget", "99999999999G"]).is_err(), "overflow");
     }
 
     #[test]

@@ -3,4 +3,4 @@
 
 pub mod cli;
 
-pub use cli::HarnessArgs;
+pub use cli::{print_scheduler_summary, HarnessArgs};

@@ -1,0 +1,88 @@
+//! The pre-scheduler suite runner, kept as a reference implementation.
+//!
+//! One work unit per *benchmark*: a worker generates the flat
+//! `Vec<TraceRecord>` and runs every policy over it serially. This is the
+//! runner the scheduler in [`crate::sched`] replaced; it stays in tree so
+//!
+//! * equivalence tests can assert the reworked runner reproduces its
+//!   output bit-for-bit, and
+//! * the `suite_runner` benchmark can measure the rework's wall-clock and
+//!   peak-memory deltas against the real old code path, not a guess.
+//!
+//! Peak trace memory here is `min(threads, benchmarks)` flat traces — one
+//! per busy worker, 40 bytes per record — independent of any budget.
+
+use crate::engine::Simulator;
+use crate::registry::PolicyKind;
+use crate::runner::{BenchRun, RunnerConfig};
+use chirp_trace::suite::BenchmarkSpec;
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+/// Runs `policies` over `suite` with benchmark-grained work units and flat
+/// trace storage. Output order matches `suite` × `policies`, identical to
+/// [`crate::runner::run_suite`] on the same inputs.
+pub fn run_suite_benchwise(
+    suite: &[BenchmarkSpec],
+    policies: &[PolicyKind],
+    config: &RunnerConfig,
+) -> Vec<BenchRun> {
+    let results: Mutex<Vec<Option<Vec<BenchRun>>>> = Mutex::new(vec![None; suite.len()]);
+    let (tx, rx) = channel::unbounded::<usize>();
+    for i in 0..suite.len() {
+        tx.send(i).expect("channel open");
+    }
+    drop(tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..config.worker_threads() {
+            let rx = rx.clone();
+            let results = &results;
+            scope.spawn(move || {
+                while let Ok(i) = rx.recv() {
+                    let bench = &suite[i];
+                    let trace = bench.generate(config.instructions);
+                    let mut runs = Vec::with_capacity(policies.len());
+                    for policy in policies {
+                        let mut sim = Simulator::new(
+                            &config.sim,
+                            policy.build(config.sim.tlb.l2, bench.seed),
+                        );
+                        let result = sim.run(trace.as_slice(), config.sim.warmup_fraction);
+                        runs.push(BenchRun {
+                            benchmark: bench.name.clone(),
+                            category: bench.category,
+                            result,
+                        });
+                    }
+                    results.lock()[i] = Some(runs);
+                }
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .into_iter()
+        .flat_map(|r| r.expect("every benchmark was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chirp_trace::suite::{build_suite, SuiteConfig};
+
+    #[test]
+    fn benchwise_output_shape_matches_suite_times_policies() {
+        let suite = build_suite(&SuiteConfig { benchmarks: 2 });
+        let policies = [PolicyKind::Lru, PolicyKind::Random];
+        let config = RunnerConfig { instructions: 5_000, threads: 2, ..Default::default() };
+        let runs = run_suite_benchwise(&suite, &policies, &config);
+        assert_eq!(runs.len(), 4);
+        for (i, run) in runs.iter().enumerate() {
+            assert_eq!(run.benchmark, suite[i / 2].name);
+            assert_eq!(run.result.policy, policies[i % 2].name());
+        }
+    }
+}

@@ -13,7 +13,7 @@ use crate::metrics::RunResult;
 use chirp_branch::BranchUnit;
 use chirp_mem::MemoryHierarchy;
 use chirp_tlb::{TlbHierarchy, TlbReplacementPolicy, TlbStats, TranslationKind};
-use chirp_trace::{vpn, InstrKind, TraceRecord};
+use chirp_trace::{vpn, InstrKind, TraceRecord, TraceSource};
 
 /// The assembled machine model.
 pub struct Simulator {
@@ -88,16 +88,24 @@ impl Simulator {
 
     /// Runs the whole trace, warming on the first `warmup_fraction` and
     /// measuring the rest.
-    pub fn run(&mut self, trace: &[TraceRecord], warmup_fraction: f64) -> RunResult {
-        let warmup = ((trace.len() as f64) * warmup_fraction.clamp(0.0, 1.0)) as usize;
-        for rec in &trace[..warmup.min(trace.len())] {
-            self.step(rec);
+    ///
+    /// Generic over [`TraceSource`], so the same code path serves a flat
+    /// `&[TraceRecord]`, a `Vec<TraceRecord>` and a
+    /// [`chirp_trace::PackedTrace`] (the runner's shared in-memory form) —
+    /// results are identical because the packed iterator yields the exact
+    /// records that were packed.
+    pub fn run<T: TraceSource + ?Sized>(&mut self, trace: &T, warmup_fraction: f64) -> RunResult {
+        let len = trace.len();
+        let warmup = ((len as f64) * warmup_fraction.clamp(0.0, 1.0)) as usize;
+        let mut records = trace.records();
+        for rec in records.by_ref().take(warmup.min(len)) {
+            self.step(&rec);
         }
         let cycles0 = self.cycles;
         let instructions0 = self.instructions;
         let stats0 = self.tlbs.l2().stats();
-        for rec in &trace[warmup.min(trace.len())..] {
-            self.step(rec);
+        for rec in records {
+            self.step(&rec);
         }
         let stats1 = self.tlbs.l2().stats();
         let measured = TlbStats {

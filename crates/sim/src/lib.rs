@@ -19,6 +19,7 @@
 //! assert!(result.instructions > 0);
 //! ```
 
+pub mod baseline;
 pub mod config;
 pub mod engine;
 pub mod experiments;
@@ -26,6 +27,7 @@ pub mod metrics;
 pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod sched;
 pub mod store_cache;
 
 pub use config::SimConfig;
@@ -33,3 +35,4 @@ pub use engine::Simulator;
 pub use metrics::RunResult;
 pub use registry::PolicyKind;
 pub use runner::{run_suite, run_suite_cached, BenchRun, CacheStats, RunnerConfig};
+pub use sched::{last_scheduler_summary, SchedulerSummary};

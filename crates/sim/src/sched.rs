@@ -1,0 +1,445 @@
+//! Work-stealing scheduler for (benchmark × policy) simulation units.
+//!
+//! The suite runner's unit of work used to be a whole benchmark: one
+//! worker generated (or decoded) the trace and then ran *every* policy
+//! over it serially. With more policies than benchmarks that leaves
+//! threads idle, and with more benchmarks than memory it gives no control
+//! over how many traces sit resident at once. This module splits the
+//! matrix the other way:
+//!
+//! * each (benchmark × policy) pair is an independent **simulation task**;
+//! * each benchmark's trace is fetched once by a **fetch task** and shared
+//!   behind an [`Arc<PackedTrace>`] by every policy that needs it;
+//! * a trace is dropped the moment its last policy task finishes;
+//! * an optional **memory budget** bounds the bytes of packed trace in
+//!   flight — fetches are admitted only while estimated + resident bytes
+//!   fit, except that one trace is always allowed so progress is
+//!   guaranteed even when a single trace exceeds the budget.
+//!
+//! Workers pull whatever is runnable: ready simulation tasks first (they
+//! retire resident bytes), then an admissible fetch, otherwise they block
+//! on a condvar until a peer changes the state. Fetches run *outside* the
+//! scheduler lock, so two workers needing different traces decode or
+//! generate concurrently.
+//!
+//! Results land in fixed `[work item][policy position]` slots, so output
+//! order is deterministic regardless of interleaving.
+
+use chirp_store::StoreError;
+use chirp_trace::PackedTrace;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One unit of trace-fetch work: a benchmark index plus the policy indices
+/// to simulate over its trace. Index spaces are the caller's (the runner
+/// uses suite order and policy-lineup order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkItem {
+    /// Caller's benchmark index; used only to route callbacks.
+    pub bench: usize,
+    /// Caller's policy indices to run over this benchmark's trace.
+    pub policies: Vec<usize>,
+}
+
+/// What one scheduler invocation did — printed by the harness binaries as
+/// a one-line summary and recorded for [`last_scheduler_summary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerSummary {
+    /// Work items executed (benchmarks needing at least one policy).
+    pub work_units: usize,
+    /// Simulation tasks executed ((benchmark × policy) pairs).
+    pub sim_tasks: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Most traces resident at any instant.
+    pub peak_resident_traces: usize,
+    /// Most packed-trace bytes resident at any instant.
+    pub peak_resident_bytes: u64,
+    /// Most fetches in flight at any instant (decode/generate overlap).
+    pub concurrent_fetch_peak: usize,
+    /// Wall-clock time of the whole scheduler run.
+    pub wall: Duration,
+}
+
+impl SchedulerSummary {
+    /// One-line human-readable rendering for harness output.
+    pub fn render(&self) -> String {
+        format!(
+            "{} work units ({} sims) on {} threads | peak {} traces / {:.1} MiB in flight | \
+             peak {} concurrent fetches | {:.2}s wall",
+            self.work_units,
+            self.sim_tasks,
+            self.threads,
+            self.peak_resident_traces,
+            self.peak_resident_bytes as f64 / (1024.0 * 1024.0),
+            self.concurrent_fetch_peak,
+            self.wall.as_secs_f64(),
+        )
+    }
+}
+
+/// The last summary recorded by [`run_units`] in this process, for
+/// harnesses that want to report scheduling behaviour after an experiment
+/// without threading the value through every figure helper.
+pub fn last_scheduler_summary() -> Option<SchedulerSummary> {
+    LAST.lock().expect("summary lock").clone()
+}
+
+static LAST: Mutex<Option<SchedulerSummary>> = Mutex::new(None);
+
+/// Shared scheduler state, guarded by one mutex; workers sleep on the
+/// paired condvar whenever nothing is runnable for them.
+struct State {
+    /// Next work item not yet claimed for fetching.
+    next: usize,
+    /// Simulation tasks whose trace is resident: (work index, position in
+    /// that item's `policies`).
+    ready: VecDeque<(usize, usize)>,
+    /// Resident traces by work index.
+    traces: HashMap<usize, Arc<PackedTrace>>,
+    /// Outstanding simulation tasks per work item (drop trace at zero).
+    remaining: Vec<usize>,
+    /// Actual bytes of resident packed traces.
+    resident_bytes: u64,
+    /// Estimated bytes of fetches in flight (admission accounting).
+    reserved_bytes: u64,
+    /// Fetch tasks currently executing.
+    fetching: usize,
+    /// Simulation tasks currently executing.
+    active: usize,
+    /// First fetch error; set once, terminates admission.
+    error: Option<StoreError>,
+    peak_traces: usize,
+    peak_bytes: u64,
+    fetch_peak: usize,
+}
+
+enum Task {
+    Fetch(usize),
+    Sim(usize, usize),
+    Done,
+}
+
+/// Runs every (work item × policy) pair and returns the results in
+/// `[work item][policy position]` order plus a scheduling summary.
+///
+/// `fetch` produces a work item's packed trace and runs **outside** the
+/// scheduler lock — callers doing archive I/O must do their own index
+/// bookkeeping under their own (briefly held) lock. `simulate` receives
+/// `(work index, policy position, trace)` and also runs unlocked.
+///
+/// `est_bytes` is the per-trace size estimate used for budget admission
+/// before a trace's true [`PackedTrace::resident_bytes`] is known;
+/// `budget` of `None` means unbounded. The first fetch error aborts
+/// admission and is returned after in-flight tasks drain.
+pub fn run_units<F, S, R>(
+    work: &[WorkItem],
+    threads: usize,
+    est_bytes: u64,
+    budget: Option<u64>,
+    fetch: F,
+    simulate: S,
+) -> Result<(Vec<Vec<R>>, SchedulerSummary), StoreError>
+where
+    F: Fn(&WorkItem) -> Result<PackedTrace, StoreError> + Sync,
+    S: Fn(usize, usize, &PackedTrace) -> R + Sync,
+    R: Send,
+{
+    let started = Instant::now();
+    let threads = threads.max(1);
+    let state = Mutex::new(State {
+        next: 0,
+        ready: VecDeque::new(),
+        traces: HashMap::new(),
+        remaining: work.iter().map(|w| w.policies.len()).collect(),
+        resident_bytes: 0,
+        reserved_bytes: 0,
+        fetching: 0,
+        active: 0,
+        error: None,
+        peak_traces: 0,
+        peak_bytes: 0,
+        fetch_peak: 0,
+    });
+    let cvar = Condvar::new();
+    let results: Mutex<Vec<Vec<Option<R>>>> =
+        Mutex::new(work.iter().map(|w| (0..w.policies.len()).map(|_| None).collect()).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let state = &state;
+            let cvar = &cvar;
+            let results = &results;
+            let fetch = &fetch;
+            let simulate = &simulate;
+            scope.spawn(move || loop {
+                let task = {
+                    let mut st = state.lock().expect("scheduler lock");
+                    loop {
+                        if let Some((w, pos)) = st.ready.pop_front() {
+                            st.active += 1;
+                            break Task::Sim(w, pos);
+                        }
+                        if st.next < work.len() && st.error.is_none() {
+                            // Always admit when nothing is resident or in
+                            // flight — a single oversized trace must not
+                            // wedge the run.
+                            let alone = st.traces.is_empty() && st.fetching == 0;
+                            let fits = budget.is_none_or(|b| {
+                                st.resident_bytes + st.reserved_bytes + est_bytes <= b
+                            });
+                            if alone || fits {
+                                let w = st.next;
+                                st.next += 1;
+                                st.fetching += 1;
+                                st.reserved_bytes += est_bytes;
+                                st.fetch_peak = st.fetch_peak.max(st.fetching);
+                                break Task::Fetch(w);
+                            }
+                        }
+                        if st.next >= work.len()
+                            && st.fetching == 0
+                            && st.ready.is_empty()
+                            && st.active == 0
+                        {
+                            break Task::Done;
+                        }
+                        st = cvar.wait(st).expect("scheduler lock");
+                    }
+                };
+                match task {
+                    Task::Done => return,
+                    Task::Fetch(w) => {
+                        let fetched = fetch(&work[w]);
+                        let mut st = state.lock().expect("scheduler lock");
+                        st.fetching -= 1;
+                        st.reserved_bytes -= est_bytes;
+                        match fetched {
+                            Ok(trace) => {
+                                if work[w].policies.is_empty() {
+                                    // Nothing to simulate; never resident.
+                                } else {
+                                    st.resident_bytes += trace.resident_bytes();
+                                    st.traces.insert(w, Arc::new(trace));
+                                    st.peak_traces = st.peak_traces.max(st.traces.len());
+                                    st.peak_bytes = st.peak_bytes.max(st.resident_bytes);
+                                    for pos in 0..work[w].policies.len() {
+                                        st.ready.push_back((w, pos));
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                if st.error.is_none() {
+                                    st.error = Some(e);
+                                }
+                                // Stop admitting; let in-flight work drain.
+                                st.next = work.len();
+                                st.ready.clear();
+                            }
+                        }
+                        cvar.notify_all();
+                    }
+                    Task::Sim(w, pos) => {
+                        let trace = {
+                            let st = state.lock().expect("scheduler lock");
+                            Arc::clone(st.traces.get(&w).expect("ready task has resident trace"))
+                        };
+                        let r = simulate(w, pos, &trace);
+                        drop(trace);
+                        results.lock().expect("results lock")[w][pos] = Some(r);
+                        let mut st = state.lock().expect("scheduler lock");
+                        st.active -= 1;
+                        st.remaining[w] -= 1;
+                        if st.remaining[w] == 0 {
+                            if let Some(t) = st.traces.remove(&w) {
+                                st.resident_bytes -= t.resident_bytes();
+                            }
+                        }
+                        cvar.notify_all();
+                    }
+                }
+            });
+        }
+    });
+
+    let st = state.into_inner().expect("scheduler lock");
+    if let Some(e) = st.error {
+        return Err(e);
+    }
+    let summary = SchedulerSummary {
+        work_units: work.len(),
+        sim_tasks: work.iter().map(|w| w.policies.len()).sum(),
+        threads,
+        peak_resident_traces: st.peak_traces,
+        peak_resident_bytes: st.peak_bytes,
+        concurrent_fetch_peak: st.fetch_peak,
+        wall: started.elapsed(),
+    };
+    *LAST.lock().expect("summary lock") = Some(summary.clone());
+    let out = results
+        .into_inner()
+        .expect("results lock")
+        .into_iter()
+        .map(|row| row.into_iter().map(|r| r.expect("every sim task ran")).collect())
+        .collect();
+    Ok((out, summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chirp_trace::{PackedTraceBuilder, TraceRecord};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn trace_of_len(len: usize) -> PackedTrace {
+        let mut b = PackedTraceBuilder::with_capacity(len);
+        for i in 0..len {
+            b.push(TraceRecord::alu(0x400000 + 4 * i as u64));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn results_land_in_item_by_policy_order() {
+        let work = vec![
+            WorkItem { bench: 0, policies: vec![0, 1, 2] },
+            WorkItem { bench: 1, policies: vec![1] },
+        ];
+        let (results, summary) = run_units(
+            &work,
+            4,
+            64,
+            None,
+            |item| Ok(trace_of_len(10 * (item.bench + 1))),
+            |w, pos, trace| (w, work[w].policies[pos], trace.len()),
+        )
+        .unwrap();
+        assert_eq!(results, vec![vec![(0, 0, 10), (0, 1, 10), (0, 2, 10)], vec![(1, 1, 20)]]);
+        assert_eq!(summary.work_units, 2);
+        assert_eq!(summary.sim_tasks, 4);
+        assert!(summary.peak_resident_traces >= 1);
+        assert!(summary.peak_resident_bytes > 0);
+    }
+
+    /// The lock-splitting satellite's regression probe: two workers that
+    /// need *different* traces must be inside `fetch` simultaneously. Each
+    /// fetch parks until it observes the other (bounded spin), so if the
+    /// scheduler serialised fetches — e.g. by holding the state lock
+    /// across the callback, the pre-rework archive behaviour — the gauge
+    /// would never reach 2 and the assertion below fails after the
+    /// timeout rather than deadlocking.
+    #[test]
+    fn fetches_for_different_traces_overlap() {
+        let in_fetch = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let work = vec![
+            WorkItem { bench: 0, policies: vec![0] },
+            WorkItem { bench: 1, policies: vec![0] },
+        ];
+        let (results, summary) = run_units(
+            &work,
+            2,
+            64,
+            None,
+            |item| {
+                let now = in_fetch.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                let deadline = Instant::now() + Duration::from_secs(5);
+                while peak.load(Ordering::SeqCst) < 2 && Instant::now() < deadline {
+                    std::thread::yield_now();
+                }
+                in_fetch.fetch_sub(1, Ordering::SeqCst);
+                Ok(trace_of_len(item.bench + 1))
+            },
+            |_, _, trace| trace.len(),
+        )
+        .unwrap();
+        assert_eq!(peak.load(Ordering::SeqCst), 2, "both fetches must be in flight at once");
+        assert_eq!(summary.concurrent_fetch_peak, 2);
+        assert_eq!(results, vec![vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn budget_keeps_one_trace_resident_at_a_time() {
+        let work: Vec<WorkItem> =
+            (0..4).map(|bench| WorkItem { bench, policies: vec![0, 1] }).collect();
+        let est = 64u64;
+        // Budget fits exactly one estimated fetch; once any trace is
+        // resident (resident_bytes > 0), a second fetch never fits.
+        let (results, summary) = run_units(
+            &work,
+            4,
+            est,
+            Some(est),
+            |item| Ok(trace_of_len(8 + item.bench)),
+            |_, _, trace| trace.len(),
+        )
+        .unwrap();
+        assert_eq!(results.len(), 4);
+        assert_eq!(summary.peak_resident_traces, 1, "budget must serialise trace residency");
+        assert_eq!(summary.concurrent_fetch_peak, 1);
+    }
+
+    #[test]
+    fn oversized_trace_still_admitted_when_alone() {
+        let work = vec![WorkItem { bench: 0, policies: vec![0] }];
+        // Estimate far above budget: the alone-rule must admit it anyway.
+        let (results, _) =
+            run_units(&work, 2, 1 << 30, Some(1024), |_| Ok(trace_of_len(5)), |_, _, t| t.len())
+                .unwrap();
+        assert_eq!(results, vec![vec![5]]);
+    }
+
+    #[test]
+    fn fetch_error_is_returned() {
+        let work = vec![
+            WorkItem { bench: 0, policies: vec![0] },
+            WorkItem { bench: 1, policies: vec![0] },
+        ];
+        let err = run_units(
+            &work,
+            2,
+            64,
+            None,
+            |item| {
+                if item.bench == 1 {
+                    Err(StoreError::Corrupt("boom".into()))
+                } else {
+                    Ok(trace_of_len(3))
+                }
+            },
+            |_, _, trace| trace.len(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn empty_work_completes_immediately() {
+        let (results, summary) = run_units(
+            &[],
+            3,
+            64,
+            Some(1),
+            |_: &WorkItem| Ok(trace_of_len(1)),
+            |_, _, t: &PackedTrace| t.len(),
+        )
+        .unwrap();
+        assert!(results.is_empty());
+        assert_eq!(summary.sim_tasks, 0);
+        assert_eq!(summary.peak_resident_traces, 0);
+    }
+
+    #[test]
+    fn traces_are_dropped_after_last_policy() {
+        // Serial worker: every trace must be gone before the next fetch,
+        // so the peak is exactly one even without a budget.
+        let work: Vec<WorkItem> =
+            (0..3).map(|b| WorkItem { bench: b, policies: vec![0] }).collect();
+        let (_, summary) =
+            run_units(&work, 1, 64, None, |i| Ok(trace_of_len(4 + i.bench)), |_, _, t| t.len())
+                .unwrap();
+        assert_eq!(summary.peak_resident_traces, 1);
+    }
+}

@@ -19,7 +19,7 @@ use crate::hash::{fnv64, hex16, Fnv64};
 use crate::json::JsonObject;
 use crate::StoreError;
 use chirp_trace::suite::BenchmarkSpec;
-use chirp_trace::{read_trace, write_trace, TraceRecord};
+use chirp_trace::{read_trace_packed, write_trace_packed, PackedTrace, TraceRecord};
 use std::collections::HashMap;
 use std::fs;
 use std::io::Write;
@@ -52,18 +52,53 @@ pub struct ArchiveStats {
     pub corrupt_regenerated: u64,
 }
 
+/// Manifest metadata for one archived trace: everything needed to validate
+/// and decode the file *without* holding the archive lock. Obtained under
+/// the lock via [`TraceArchive::entry_meta`]; consumed lock-free by
+/// [`TraceArchive::decode_file`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryMeta {
+    /// FNV-1a checksum of the file bytes.
+    pub checksum: u64,
+    /// Expected file length in bytes.
+    pub bytes: u64,
+}
+
+/// A trace encoded for archiving, produced lock-free by
+/// [`TraceArchive::encode_packed`] and committed under the lock by
+/// [`TraceArchive::commit`].
 #[derive(Debug, Clone)]
-struct ManifestEntry {
-    checksum: u64,
-    bytes: u64,
+pub struct EncodedTrace {
+    /// The `CHRP` codec bytes.
+    pub bytes: Vec<u8>,
+    /// FNV-1a checksum of `bytes`.
+    pub checksum: u64,
+    /// Record count of the encoded trace.
+    pub records: u64,
 }
 
 /// The on-disk trace archive.
+///
+/// # Locking discipline
+///
+/// The struct itself is not thread-safe; parallel callers (the suite
+/// runner) share it behind a mutex. To keep codec work out of that
+/// critical section, the expensive steps are exposed as lock-free
+/// associated functions operating on plain data:
+///
+/// 1. under the lock: [`TraceArchive::entry_meta`] + [`TraceArchive::trace_path`] (index probe);
+/// 2. lock released: [`TraceArchive::decode_file`] (read + checksum + decode),
+///    or on a miss generate + [`TraceArchive::encode_packed`] + [`TraceArchive::store_file`];
+/// 3. under the lock again: [`TraceArchive::record_hit`] or
+///    [`TraceArchive::commit`] (manifest append + index insert — bookkeeping only).
+///
+/// [`TraceArchive::get_or_generate_packed`] composes the same steps for
+/// single-threaded callers.
 #[derive(Debug)]
 pub struct TraceArchive {
     dir: PathBuf,
     manifest_path: PathBuf,
-    entries: HashMap<u64, ManifestEntry>,
+    entries: HashMap<u64, EntryMeta>,
     stats: ArchiveStats,
 }
 
@@ -95,7 +130,7 @@ impl TraceArchive {
                 };
                 // Later lines win: a rewritten (regenerated) trace appends
                 // a fresh manifest line for the same key.
-                entries.insert(key, ManifestEntry { checksum, bytes });
+                entries.insert(key, EntryMeta { checksum, bytes });
             }
         }
         Ok(TraceArchive { dir, manifest_path, entries, stats: ArchiveStats::default() })
@@ -120,80 +155,142 @@ impl TraceArchive {
         self.dir.join(format!("{}.chrp", hex16(key)))
     }
 
-    /// Returns the trace for (`spec`, `len`), decoding it from the archive
-    /// when a valid copy exists, else generating (and archiving) it.
-    /// Corrupt entries are regenerated, never fatal.
+    /// Manifest metadata for `key`, if the archive knows it. Cheap — safe
+    /// to call with the archive lock held.
+    pub fn entry_meta(&self, key: u64) -> Option<EntryMeta> {
+        self.entries.get(&key).copied()
+    }
+
+    /// Validates and decodes an archived trace file against its manifest
+    /// metadata — the expensive read path, deliberately free of `self` so
+    /// parallel callers run it *outside* the archive lock. Returns `None`
+    /// on any mismatch (missing file, short/long read, bad checksum,
+    /// undecodable bytes); callers treat that as corruption and
+    /// regenerate.
+    pub fn decode_file(path: &Path, meta: EntryMeta) -> Option<PackedTrace> {
+        let bytes = fs::read(path).ok()?;
+        if bytes.len() as u64 != meta.bytes || fnv64(&bytes) != meta.checksum {
+            return None;
+        }
+        read_trace_packed(&bytes).ok()
+    }
+
+    /// Encodes a packed trace for archiving — codec plus checksum, free of
+    /// `self` so it runs outside the archive lock.
+    pub fn encode_packed(trace: &PackedTrace) -> EncodedTrace {
+        let bytes = write_trace_packed(trace);
+        let checksum = fnv64(&bytes);
+        EncodedTrace { checksum, records: trace.len() as u64, bytes }
+    }
+
+    /// Atomically writes encoded trace bytes to `path` (tmp + rename).
+    /// Free of `self`; the entry is not visible to the index until
+    /// [`TraceArchive::commit`] runs.
+    pub fn store_file(path: &Path, encoded: &EncodedTrace) -> Result<(), StoreError> {
+        write_atomic(path, &encoded.bytes)
+    }
+
+    /// Publishes an entry written by [`TraceArchive::store_file`]: appends
+    /// the manifest line, updates the in-memory index and bumps the
+    /// counter for `outcome`. This is the only write step that needs the
+    /// archive lock, and it does no codec work.
+    pub fn commit(
+        &mut self,
+        key: u64,
+        encoded: &EncodedTrace,
+        outcome: ArchiveOutcome,
+    ) -> Result<(), StoreError> {
+        let mut line = JsonObject::new();
+        line.set_str("key", &hex16(key))
+            .set_str("checksum", &hex16(encoded.checksum))
+            .set_u64("bytes", encoded.bytes.len() as u64)
+            .set_u64("records", encoded.records)
+            .set_u64("version", u64::from(ARCHIVE_VERSION));
+        append_line(&self.manifest_path, &line.to_json())?;
+        self.entries.insert(
+            key,
+            EntryMeta { checksum: encoded.checksum, bytes: encoded.bytes.len() as u64 },
+        );
+        match outcome {
+            ArchiveOutcome::Hit => {}
+            ArchiveOutcome::MissGenerated => self.stats.misses += 1,
+            ArchiveOutcome::CorruptRegenerated => self.stats.corrupt_regenerated += 1,
+        }
+        Ok(())
+    }
+
+    /// Counts a trace served from a valid archived file.
+    pub fn record_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    /// Returns the packed trace for (`spec`, `len`), decoding it from the
+    /// archive when a valid copy exists, else generating (and archiving)
+    /// it. Corrupt entries are regenerated, never fatal.
+    pub fn get_or_generate_packed(
+        &mut self,
+        spec: &BenchmarkSpec,
+        len: usize,
+    ) -> Result<(PackedTrace, ArchiveOutcome), StoreError> {
+        let key = Self::content_key(spec, len);
+        let path = self.trace_path(key);
+        if let Some(meta) = self.entry_meta(key) {
+            if let Some(trace) = Self::decode_file(&path, meta) {
+                self.record_hit();
+                return Ok((trace, ArchiveOutcome::Hit));
+            }
+            // Checksum/codec mismatch or unreadable file: regenerate.
+            let trace = spec.generate_packed(len);
+            let encoded = Self::encode_packed(&trace);
+            Self::store_file(&path, &encoded)?;
+            self.commit(key, &encoded, ArchiveOutcome::CorruptRegenerated)?;
+            return Ok((trace, ArchiveOutcome::CorruptRegenerated));
+        }
+        let trace = spec.generate_packed(len);
+        let encoded = Self::encode_packed(&trace);
+        Self::store_file(&path, &encoded)?;
+        self.commit(key, &encoded, ArchiveOutcome::MissGenerated)?;
+        Ok((trace, ArchiveOutcome::MissGenerated))
+    }
+
+    /// Flat-vector variant of [`TraceArchive::get_or_generate_packed`],
+    /// for callers that want slice access to the records.
     pub fn get_or_generate(
         &mut self,
         spec: &BenchmarkSpec,
         len: usize,
     ) -> Result<(Vec<TraceRecord>, ArchiveOutcome), StoreError> {
-        let key = Self::content_key(spec, len);
-        let path = self.trace_path(key);
-        let known = self.entries.get(&key).cloned();
-        if let Some(entry) = known {
-            match fs::read(&path) {
-                Ok(bytes) => {
-                    if bytes.len() as u64 == entry.bytes && fnv64(&bytes) == entry.checksum {
-                        if let Ok(trace) = read_trace(&bytes) {
-                            self.stats.hits += 1;
-                            return Ok((trace, ArchiveOutcome::Hit));
-                        }
-                    }
-                    // Checksum or codec mismatch: fall through to
-                    // regeneration.
-                }
-                Err(_) => {
-                    // Manifest entry without a readable file: regenerate.
-                }
-            }
-            let trace = spec.generate(len);
-            self.write_entry(key, &trace)?;
-            self.stats.corrupt_regenerated += 1;
-            return Ok((trace, ArchiveOutcome::CorruptRegenerated));
-        }
-        let trace = spec.generate(len);
-        self.write_entry(key, &trace)?;
-        self.stats.misses += 1;
-        Ok((trace, ArchiveOutcome::MissGenerated))
+        self.get_or_generate_packed(spec, len).map(|(trace, outcome)| (trace.to_records(), outcome))
     }
 
     /// Materialises (`spec`, `len`) if absent or invalid, without decoding
     /// an existing valid file. Returns the outcome.
     pub fn pack(&mut self, spec: &BenchmarkSpec, len: usize) -> Result<ArchiveOutcome, StoreError> {
         let key = Self::content_key(spec, len);
-        if let Some(entry) = self.entries.get(&key) {
+        if let Some(meta) = self.entries.get(&key) {
             if let Ok(bytes) = fs::read(self.trace_path(key)) {
-                if bytes.len() as u64 == entry.bytes && fnv64(&bytes) == entry.checksum {
+                if bytes.len() as u64 == meta.bytes && fnv64(&bytes) == meta.checksum {
                     self.stats.hits += 1;
                     return Ok(ArchiveOutcome::Hit);
                 }
             }
-            let trace = spec.generate(len);
-            self.write_entry(key, &trace)?;
-            self.stats.corrupt_regenerated += 1;
-            return Ok(ArchiveOutcome::CorruptRegenerated);
+            return self.regenerate(spec, len, key, ArchiveOutcome::CorruptRegenerated);
         }
-        let trace = spec.generate(len);
-        self.write_entry(key, &trace)?;
-        self.stats.misses += 1;
-        Ok(ArchiveOutcome::MissGenerated)
+        self.regenerate(spec, len, key, ArchiveOutcome::MissGenerated)
     }
 
-    fn write_entry(&mut self, key: u64, trace: &[TraceRecord]) -> Result<(), StoreError> {
-        let bytes = write_trace(trace);
-        let checksum = fnv64(&bytes);
-        let path = self.trace_path(key);
-        write_atomic(&path, &bytes)?;
-        let mut line = JsonObject::new();
-        line.set_str("key", &hex16(key))
-            .set_str("checksum", &hex16(checksum))
-            .set_u64("bytes", bytes.len() as u64)
-            .set_u64("records", trace.len() as u64)
-            .set_u64("version", u64::from(ARCHIVE_VERSION));
-        append_line(&self.manifest_path, &line.to_json())?;
-        self.entries.insert(key, ManifestEntry { checksum, bytes: bytes.len() as u64 });
-        Ok(())
+    fn regenerate(
+        &mut self,
+        spec: &BenchmarkSpec,
+        len: usize,
+        key: u64,
+        outcome: ArchiveOutcome,
+    ) -> Result<ArchiveOutcome, StoreError> {
+        let trace = spec.generate_packed(len);
+        let encoded = Self::encode_packed(&trace);
+        Self::store_file(&self.trace_path(key), &encoded)?;
+        self.commit(key, &encoded, outcome)?;
+        Ok(outcome)
     }
 
     /// Checksum-audits every manifest entry. Returns `(valid, corrupt)`
@@ -207,7 +304,7 @@ impl TraceArchive {
                 .map(|bytes| {
                     bytes.len() as u64 == entry.bytes
                         && fnv64(&bytes) == entry.checksum
-                        && read_trace(&bytes).is_ok()
+                        && read_trace_packed(&bytes).is_ok()
                 })
                 .unwrap_or(false);
             if ok {
@@ -275,12 +372,8 @@ mod tests {
     use super::*;
     use chirp_trace::suite::{build_suite, SuiteConfig};
 
-    fn tmpdir(tag: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("chirp-store-archive-{tag}-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
-        fs::create_dir_all(&dir).unwrap();
-        dir
+    fn tmpdir(tag: &str) -> crate::TempDir {
+        crate::TempDir::new(&format!("store-archive-{tag}"))
     }
 
     fn spec() -> BenchmarkSpec {
@@ -290,18 +383,17 @@ mod tests {
     #[test]
     fn miss_then_hit_roundtrips_identical_trace() {
         let root = tmpdir("hit");
-        let mut archive = TraceArchive::open(&root).unwrap();
+        let mut archive = TraceArchive::open(root.path()).unwrap();
         let (first, outcome) = archive.get_or_generate(&spec(), 5_000).unwrap();
         assert_eq!(outcome, ArchiveOutcome::MissGenerated);
         let (second, outcome) = archive.get_or_generate(&spec(), 5_000).unwrap();
         assert_eq!(outcome, ArchiveOutcome::Hit);
         assert_eq!(first, second);
         // A reopened archive still hits.
-        let mut reopened = TraceArchive::open(&root).unwrap();
+        let mut reopened = TraceArchive::open(root.path()).unwrap();
         let (third, outcome) = reopened.get_or_generate(&spec(), 5_000).unwrap();
         assert_eq!(outcome, ArchiveOutcome::Hit);
         assert_eq!(first, third);
-        let _ = fs::remove_dir_all(&root);
     }
 
     #[test]
@@ -313,7 +405,7 @@ mod tests {
     #[test]
     fn corruption_is_detected_and_regenerated() {
         let root = tmpdir("corrupt");
-        let mut archive = TraceArchive::open(&root).unwrap();
+        let mut archive = TraceArchive::open(root.path()).unwrap();
         let (original, _) = archive.get_or_generate(&spec(), 4_000).unwrap();
         let key = TraceArchive::content_key(&spec(), 4_000);
         let path = archive.trace_path(key);
@@ -324,7 +416,7 @@ mod tests {
         bytes[mid] ^= 0xFF;
         fs::write(&path, &bytes).unwrap();
 
-        let mut reopened = TraceArchive::open(&root).unwrap();
+        let mut reopened = TraceArchive::open(root.path()).unwrap();
         let (_, corrupt) = reopened.verify();
         assert_eq!(corrupt, vec![key]);
         let (recovered, outcome) = reopened.get_or_generate(&spec(), 4_000).unwrap();
@@ -334,41 +426,37 @@ mod tests {
         let (valid, corrupt) = reopened.verify();
         assert_eq!((valid, corrupt.len()), (1, 0));
         assert_eq!(reopened.stats().corrupt_regenerated, 1);
-        let _ = fs::remove_dir_all(&root);
     }
 
     #[test]
     fn missing_file_with_manifest_entry_regenerates() {
         let root = tmpdir("missing");
-        let mut archive = TraceArchive::open(&root).unwrap();
+        let mut archive = TraceArchive::open(root.path()).unwrap();
         archive.get_or_generate(&spec(), 2_000).unwrap();
         let key = TraceArchive::content_key(&spec(), 2_000);
         fs::remove_file(archive.trace_path(key)).unwrap();
-        let mut reopened = TraceArchive::open(&root).unwrap();
+        let mut reopened = TraceArchive::open(root.path()).unwrap();
         let (_, outcome) = reopened.get_or_generate(&spec(), 2_000).unwrap();
         assert_eq!(outcome, ArchiveOutcome::CorruptRegenerated);
-        let _ = fs::remove_dir_all(&root);
     }
 
     #[test]
     fn pack_skips_valid_entries() {
         let root = tmpdir("pack");
-        let mut archive = TraceArchive::open(&root).unwrap();
+        let mut archive = TraceArchive::open(root.path()).unwrap();
         assert_eq!(archive.pack(&spec(), 3_000).unwrap(), ArchiveOutcome::MissGenerated);
         assert_eq!(archive.pack(&spec(), 3_000).unwrap(), ArchiveOutcome::Hit);
         assert_eq!(archive.len(), 1);
-        let _ = fs::remove_dir_all(&root);
     }
 
     #[test]
     fn torn_manifest_line_is_skipped() {
         let root = tmpdir("torn");
-        let mut archive = TraceArchive::open(&root).unwrap();
+        let mut archive = TraceArchive::open(root.path()).unwrap();
         archive.get_or_generate(&spec(), 1_000).unwrap();
         // Simulate an interrupted append.
-        append_line(&root.join("traces/MANIFEST.jsonl"), "{\"key\":\"dead").unwrap();
-        let reopened = TraceArchive::open(&root).unwrap();
+        append_line(&root.path().join("traces/MANIFEST.jsonl"), "{\"key\":\"dead").unwrap();
+        let reopened = TraceArchive::open(root.path()).unwrap();
         assert_eq!(reopened.len(), 1);
-        let _ = fs::remove_dir_all(&root);
     }
 }

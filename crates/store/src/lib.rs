@@ -29,11 +29,15 @@ pub mod archive;
 pub mod hash;
 pub mod json;
 pub mod ledger;
+pub mod tempdir;
 
-pub use archive::{ArchiveOutcome, ArchiveStats, TraceArchive, ARCHIVE_VERSION};
+pub use archive::{
+    ArchiveOutcome, ArchiveStats, EncodedTrace, EntryMeta, TraceArchive, ARCHIVE_VERSION,
+};
 pub use hash::{fnv64, hex16, parse_hex16, Fnv64};
 pub use json::{JsonError, JsonObject, JsonValue};
 pub use ledger::RunLedger;
+pub use tempdir::TempDir;
 
 use std::fmt;
 use std::path::Path;
@@ -105,13 +109,11 @@ mod tests {
 
     #[test]
     fn store_opens_both_components() {
-        let root = std::env::temp_dir().join(format!("chirp-store-root-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&root);
-        let store = Store::open(&root).unwrap();
+        let root = TempDir::new("store-root");
+        let store = Store::open(root.path()).unwrap();
         assert!(store.archive.is_empty());
         assert!(store.ledger.is_empty());
-        assert!(root.join("traces").is_dir());
-        let _ = std::fs::remove_dir_all(&root);
+        assert!(root.path().join("traces").is_dir());
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Self-cleaning temporary directories for tests.
+//!
+//! The workspace's runner and store tests used to build scratch roots from
+//! `process::id()` alone, which collided between tests in one process and
+//! leaked directories whenever an assertion failed before the trailing
+//! `remove_dir_all`. [`TempDir`] fixes both: the path embeds a per-process
+//! counter so every instance is unique, and `Drop` removes the tree even
+//! when the test panics.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::{env, fs};
+
+/// A uniquely named directory under the system temp dir, removed on drop.
+///
+/// Test support: hold one for the lifetime of the test and pass
+/// [`TempDir::path`] wherever a store root is needed.
+///
+/// ```
+/// let dir = chirp_store::TempDir::new("doc");
+/// std::fs::write(dir.path().join("probe"), b"x").unwrap();
+/// let kept = dir.path().to_path_buf();
+/// drop(dir);
+/// assert!(!kept.exists());
+/// ```
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh directory whose name embeds `tag`, the process id
+    /// and a per-process counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created — in a test that is the
+    /// right failure mode.
+    pub fn new(tag: &str) -> TempDir {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = env::temp_dir().join(format!("chirp-{tag}-{}-{n}", std::process::id()));
+        // A stale tree from a previous crashed run with the same pid is
+        // possible (pid reuse); clear it so tests start empty.
+        let _ = fs::remove_dir_all(&path);
+        fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl AsRef<Path> for TempDir {
+    fn as_ref(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_unique_dirs_and_removes_on_drop() {
+        let a = TempDir::new("t");
+        let b = TempDir::new("t");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir() && b.path().is_dir());
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists());
+        assert!(b.path().is_dir(), "dropping one dir must not touch another");
+    }
+
+    #[test]
+    fn removes_populated_trees() {
+        let dir = TempDir::new("deep");
+        fs::create_dir_all(dir.path().join("a/b")).unwrap();
+        fs::write(dir.path().join("a/b/f"), b"x").unwrap();
+        let kept = dir.path().to_path_buf();
+        drop(dir);
+        assert!(!kept.exists());
+    }
+}

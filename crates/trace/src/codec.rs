@@ -16,6 +16,7 @@
 //! makes sequential code nearly free to store. Effective addresses and
 //! targets are encoded only when the kind requires them (flag-driven).
 
+use crate::packed::{PackedTrace, PackedTraceBuilder};
 use crate::record::{InstrKind, TraceRecord};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
@@ -106,10 +107,21 @@ fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
 /// # Ok::<(), chirp_trace::CodecError>(())
 /// ```
 pub fn write_trace(records: &[TraceRecord]) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(16 + records.len() * 4);
+    encode(records.len(), records.iter().copied())
+}
+
+/// Serialises a [`PackedTrace`] into the same binary format as
+/// [`write_trace`] — the encoding depends only on the record sequence, not
+/// on the in-memory representation.
+pub fn write_trace_packed(trace: &PackedTrace) -> Vec<u8> {
+    encode(trace.len(), trace.iter())
+}
+
+fn encode<I: Iterator<Item = TraceRecord>>(count: usize, records: I) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(16 + count * 4);
     buf.put_slice(MAGIC);
     buf.put_u8(VERSION);
-    buf.put_u64_le(records.len() as u64);
+    buf.put_u64_le(count as u64);
     let mut prev_pc = 0u64;
     for rec in records {
         let mut flags = 0u8;
@@ -138,6 +150,61 @@ pub fn write_trace(records: &[TraceRecord]) -> Vec<u8> {
     buf.to_vec()
 }
 
+/// Streaming decoder: header validation up front, then one record per
+/// [`Decoder::next_record`] call. Both [`read_trace`] and
+/// [`read_trace_packed`] drive this, so the two paths cannot diverge.
+struct Decoder {
+    buf: Bytes,
+    remaining: usize,
+    prev_pc: u64,
+}
+
+impl Decoder {
+    fn new(data: &[u8]) -> Result<Decoder, CodecError> {
+        let mut buf = Bytes::copy_from_slice(data);
+        if buf.remaining() < 4 + 1 + 8 {
+            return Err(CodecError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = buf.get_u8();
+        if version != VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let count = buf.get_u64_le() as usize;
+        Ok(Decoder { buf, remaining: count, prev_pc: 0 })
+    }
+
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        if self.buf.remaining() < 2 {
+            return Err(CodecError::Truncated);
+        }
+        let kind_byte = self.buf.get_u8();
+        let kind = InstrKind::from_u8(kind_byte).ok_or(CodecError::BadKind(kind_byte))?;
+        let flags = self.buf.get_u8();
+        let delta = zigzag_decode(get_varint(&mut self.buf)?);
+        let pc = self.prev_pc.wrapping_add(delta as u64);
+        self.prev_pc = pc;
+        let effective_address =
+            if flags & FLAG_HAS_EA != 0 { get_varint(&mut self.buf)? } else { 0 };
+        let target = if flags & FLAG_HAS_TARGET != 0 { get_varint(&mut self.buf)? } else { 0 };
+        Ok(Some(TraceRecord {
+            pc,
+            kind,
+            effective_address,
+            target,
+            taken: flags & FLAG_TAKEN != 0,
+        }))
+    }
+}
+
 /// Deserialises a trace previously produced by [`write_trace`].
 ///
 /// # Errors
@@ -145,43 +212,29 @@ pub fn write_trace(records: &[TraceRecord]) -> Vec<u8> {
 /// Returns a [`CodecError`] if the buffer is truncated, carries an unknown
 /// version or kind, or contains a malformed varint.
 pub fn read_trace(data: &[u8]) -> Result<Vec<TraceRecord>, CodecError> {
-    let mut buf = Bytes::copy_from_slice(data);
-    if buf.remaining() < 4 + 1 + 8 {
-        return Err(CodecError::Truncated);
-    }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(CodecError::BadMagic);
-    }
-    let version = buf.get_u8();
-    if version != VERSION {
-        return Err(CodecError::UnsupportedVersion(version));
-    }
-    let count = buf.get_u64_le() as usize;
-    let mut out = Vec::with_capacity(count);
-    let mut prev_pc = 0u64;
-    for _ in 0..count {
-        if buf.remaining() < 2 {
-            return Err(CodecError::Truncated);
-        }
-        let kind_byte = buf.get_u8();
-        let kind = InstrKind::from_u8(kind_byte).ok_or(CodecError::BadKind(kind_byte))?;
-        let flags = buf.get_u8();
-        let delta = zigzag_decode(get_varint(&mut buf)?);
-        let pc = prev_pc.wrapping_add(delta as u64);
-        prev_pc = pc;
-        let effective_address = if flags & FLAG_HAS_EA != 0 { get_varint(&mut buf)? } else { 0 };
-        let target = if flags & FLAG_HAS_TARGET != 0 { get_varint(&mut buf)? } else { 0 };
-        out.push(TraceRecord {
-            pc,
-            kind,
-            effective_address,
-            target,
-            taken: flags & FLAG_TAKEN != 0,
-        });
+    let mut decoder = Decoder::new(data)?;
+    let mut out = Vec::with_capacity(decoder.remaining);
+    while let Some(rec) = decoder.next_record()? {
+        out.push(rec);
     }
     Ok(out)
+}
+
+/// Deserialises a trace directly into [`PackedTrace`] form, never
+/// materialising the flat 40-byte-per-record vector — the suite runner's
+/// archive-decode path. Accepts exactly the buffers [`read_trace`] accepts
+/// and yields the identical record sequence.
+///
+/// # Errors
+///
+/// Same failure modes as [`read_trace`].
+pub fn read_trace_packed(data: &[u8]) -> Result<PackedTrace, CodecError> {
+    let mut decoder = Decoder::new(data)?;
+    let mut builder = PackedTraceBuilder::with_capacity(decoder.remaining);
+    while let Some(rec) = decoder.next_record()? {
+        builder.push(rec);
+    }
+    Ok(builder.finish())
 }
 
 #[cfg(test)]
@@ -249,6 +302,42 @@ mod tests {
     }
 
     #[test]
+    fn packed_write_matches_flat_write() {
+        let trace = vec![
+            TraceRecord::alu(0x400000),
+            TraceRecord::load(0x400004, 0x7fff_0000_1234),
+            TraceRecord::cond_branch(0x40000c, 0x400000, true),
+            TraceRecord::ret(0x500040, 0x400014),
+        ];
+        let packed = crate::packed::PackedTrace::from_records(&trace);
+        assert_eq!(write_trace_packed(&packed), write_trace(&trace));
+    }
+
+    #[test]
+    fn packed_read_matches_flat_read() {
+        let trace = vec![
+            TraceRecord::store(0x400008, 0x1_0000_0000),
+            TraceRecord::indirect_jump(0x400014, 0x600000),
+            TraceRecord::alu(0x400018),
+        ];
+        let bytes = write_trace(&trace);
+        let packed = read_trace_packed(&bytes).unwrap();
+        assert_eq!(packed.to_records(), trace);
+        assert_eq!(read_trace(&bytes).unwrap(), trace);
+    }
+
+    #[test]
+    fn packed_read_rejects_what_flat_read_rejects() {
+        let mut bytes = write_trace(&[TraceRecord::alu(0)]);
+        bytes[0] = b'X';
+        assert_eq!(read_trace_packed(&bytes), Err(CodecError::BadMagic));
+        let bytes = write_trace(&[TraceRecord::load(0x400000, 0x12345678)]);
+        for cut in 0..bytes.len() {
+            assert!(read_trace_packed(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
     fn zigzag_is_involutive() {
         for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 0x7fff_ffff_ffff] {
             assert_eq!(zigzag_decode(zigzag_encode(v)), v);
@@ -296,6 +385,14 @@ mod tests {
                         cut
                     );
                 }
+            }
+
+            #[test]
+            fn packed_and_flat_decoders_agree(trace in vec(arb_record(), 0..200usize)) {
+                let bytes = write_trace(&trace);
+                let packed = read_trace_packed(&bytes).unwrap();
+                prop_assert_eq!(packed.to_records(), trace.clone());
+                prop_assert_eq!(write_trace_packed(&packed), bytes);
             }
 
             #[test]

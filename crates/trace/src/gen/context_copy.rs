@@ -18,6 +18,7 @@
 //! signature is designed to capture (paper §II-E, §IV-B).
 
 use super::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen};
+use crate::packed::PackedTrace;
 use crate::record::TraceRecord;
 use crate::PAGE_SIZE;
 use rand::rngs::SmallRng;
@@ -73,7 +74,7 @@ impl WorkloadGen for ContextCopy {
         Category::Mixed
     }
 
-    fn generate(&self, len: usize, seed: u64) -> Vec<TraceRecord> {
+    fn generate_packed(&self, len: usize, seed: u64) -> PackedTrace {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xC7C0);
         let mut asp = AddressSpace::new();
         let main_fn = CodeBlock::new(asp.code_region(1));
@@ -158,7 +159,7 @@ impl WorkloadGen for ContextCopy {
             }
             let _ = lines_per_page;
         }
-        em.finish()
+        em.finish_packed()
     }
 }
 

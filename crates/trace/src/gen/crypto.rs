@@ -8,6 +8,7 @@
 //! mixes families where PC signatures do and do not work.
 
 use super::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen};
+use crate::packed::PackedTrace;
 use crate::record::TraceRecord;
 use crate::PAGE_SIZE;
 use rand::rngs::SmallRng;
@@ -47,7 +48,7 @@ impl WorkloadGen for CryptoStream {
         Category::Crypto
     }
 
-    fn generate(&self, len: usize, seed: u64) -> Vec<TraceRecord> {
+    fn generate_packed(&self, len: usize, seed: u64) -> PackedTrace {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0FFEE);
         let mut asp = AddressSpace::new();
         let kernel = CodeBlock::new(asp.code_region(1));
@@ -82,7 +83,7 @@ impl WorkloadGen for CryptoStream {
             // Outer block loop backedge.
             em.push(TraceRecord::cond_branch(kernel.pc(5), kernel.pc(0), true));
         }
-        em.finish()
+        em.finish_packed()
     }
 }
 

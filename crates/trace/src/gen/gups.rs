@@ -3,6 +3,7 @@
 //! batch and a few ALU instructions of index hashing per update.
 
 use super::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen, Zipf};
+use crate::packed::PackedTrace;
 use crate::record::TraceRecord;
 use crate::PAGE_SIZE;
 use rand::rngs::SmallRng;
@@ -39,7 +40,7 @@ impl WorkloadGen for Gups {
         Category::BigData
     }
 
-    fn generate(&self, len: usize, seed: u64) -> Vec<TraceRecord> {
+    fn generate_packed(&self, len: usize, seed: u64) -> PackedTrace {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x6057);
         let mut asp = AddressSpace::new();
         let kernel = CodeBlock::new(asp.code_region(1));
@@ -71,7 +72,7 @@ impl WorkloadGen for Gups {
             }
             em.push(TraceRecord::cond_branch(kernel.pc(6), kernel.pc(0), true));
         }
-        em.finish()
+        em.finish_packed()
     }
 }
 

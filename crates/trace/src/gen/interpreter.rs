@@ -17,6 +17,7 @@
 //! numbers predate it); available to examples, tests and custom suites.
 
 use super::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen, Zipf};
+use crate::packed::PackedTrace;
 use crate::record::TraceRecord;
 use crate::PAGE_SIZE;
 use rand::rngs::SmallRng;
@@ -65,7 +66,7 @@ impl WorkloadGen for Interpreter {
         Category::Mixed
     }
 
-    fn generate(&self, len: usize, seed: u64) -> Vec<TraceRecord> {
+    fn generate_packed(&self, len: usize, seed: u64) -> PackedTrace {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x1234_5678);
         let mut asp = AddressSpace::new();
         let dispatch = CodeBlock::new(asp.code_region(1));
@@ -157,7 +158,7 @@ impl WorkloadGen for Interpreter {
             // next dispatch (emitted at the top of the next iteration).
             em.push(TraceRecord::alu(handler.pc(3)));
         }
-        em.finish()
+        em.finish_packed()
     }
 }
 

@@ -35,6 +35,7 @@ pub use scientific::TiledStencil;
 pub use spec_loop::SpecLoops;
 pub use web::WebServe;
 
+use crate::packed::{PackedTrace, PackedTraceBuilder};
 use crate::record::TraceRecord;
 use crate::PAGE_SIZE;
 use rand::Rng;
@@ -101,56 +102,74 @@ pub trait WorkloadGen {
     /// The workload category this generator belongs to.
     fn category(&self) -> Category;
 
-    /// Generates exactly `len` trace records using `seed` for all random
-    /// choices. Must be deterministic in `(self, len, seed)`.
-    fn generate(&self, len: usize, seed: u64) -> Vec<TraceRecord>;
+    /// Generates exactly `len` trace records in packed struct-of-arrays
+    /// form using `seed` for all random choices. Must be deterministic in
+    /// `(self, len, seed)`. This is the primary entry point: generators
+    /// emit through an [`Emitter`], which packs as it goes, so the flat
+    /// 40-byte-per-record vector never exists unless a caller asks for it.
+    fn generate_packed(&self, len: usize, seed: u64) -> PackedTrace;
+
+    /// Generates exactly `len` trace records as a flat vector. Convenience
+    /// wrapper over [`WorkloadGen::generate_packed`] for callers that want
+    /// slice access.
+    fn generate(&self, len: usize, seed: u64) -> Vec<TraceRecord> {
+        self.generate_packed(len, seed).to_records()
+    }
 }
 
-/// Accumulates trace records up to a limit.
+/// Accumulates trace records up to a limit, packing them as they arrive.
 ///
 /// Generators emit whole loop iterations and check [`Emitter::is_full`]
-/// between them; the final trace is truncated to exactly the requested
-/// length by [`Emitter::finish`].
+/// between them; records pushed past the limit are discarded, so the
+/// finished trace holds exactly the requested length (the moral equivalent
+/// of the old truncate-at-the-end, without buffering the overshoot).
 #[derive(Debug)]
 pub struct Emitter {
-    out: Vec<TraceRecord>,
+    builder: PackedTraceBuilder,
     limit: usize,
 }
 
 impl Emitter {
     /// Creates an emitter that stops accepting records once `limit` is hit.
     pub fn new(limit: usize) -> Self {
-        Emitter { out: Vec::with_capacity(limit + 64), limit }
+        Emitter { builder: PackedTraceBuilder::with_capacity(limit), limit }
     }
 
     /// True once at least `limit` records have been emitted.
     #[inline]
     pub fn is_full(&self) -> bool {
-        self.out.len() >= self.limit
+        self.builder.len() >= self.limit
     }
 
     /// Number of records emitted so far.
     #[inline]
     pub fn len(&self) -> usize {
-        self.out.len()
+        self.builder.len()
     }
 
     /// True if nothing has been emitted yet.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.out.is_empty()
+        self.builder.is_empty()
     }
 
-    /// Appends one record.
+    /// Appends one record; a no-op once the limit is reached.
     #[inline]
     pub fn push(&mut self, rec: TraceRecord) {
-        self.out.push(rec);
+        if self.builder.len() < self.limit {
+            self.builder.push(rec);
+        }
     }
 
-    /// Truncates to the limit and returns the finished trace.
-    pub fn finish(mut self) -> Vec<TraceRecord> {
-        self.out.truncate(self.limit);
-        self.out
+    /// The finished packed trace, exactly `limit` records (or fewer if the
+    /// generator stopped early).
+    pub fn finish_packed(self) -> PackedTrace {
+        self.builder.finish()
+    }
+
+    /// The finished trace as a flat vector.
+    pub fn finish(self) -> Vec<TraceRecord> {
+        self.finish_packed().to_records()
     }
 }
 

@@ -8,6 +8,7 @@
 //! provides the high-MPKI right-hand side of the paper's Figure 7 S-curve.
 
 use super::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen, Zipf};
+use crate::packed::PackedTrace;
 use crate::record::TraceRecord;
 use crate::PAGE_SIZE;
 use rand::rngs::SmallRng;
@@ -60,7 +61,7 @@ impl WorkloadGen for PointerChase {
         Category::BigData
     }
 
-    fn generate(&self, len: usize, seed: u64) -> Vec<TraceRecord> {
+    fn generate_packed(&self, len: usize, seed: u64) -> PackedTrace {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xB16_DA7A);
         let mut asp = AddressSpace::new();
         let walker = CodeBlock::new(asp.code_region(1));
@@ -106,7 +107,7 @@ impl WorkloadGen for PointerChase {
                 }
             }
         }
-        em.finish()
+        em.finish_packed()
     }
 }
 

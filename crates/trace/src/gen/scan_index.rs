@@ -7,6 +7,7 @@
 //! context separates live from dead pages.
 
 use super::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen, Zipf};
+use crate::packed::PackedTrace;
 use crate::record::TraceRecord;
 use crate::PAGE_SIZE;
 use rand::rngs::SmallRng;
@@ -62,7 +63,7 @@ impl WorkloadGen for ScanIndex {
         Category::Database
     }
 
-    fn generate(&self, len: usize, seed: u64) -> Vec<TraceRecord> {
+    fn generate_packed(&self, len: usize, seed: u64) -> PackedTrace {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xD15EA5E);
         let mut asp = AddressSpace::new();
         let scan_fn = CodeBlock::new(asp.code_region(1));
@@ -137,7 +138,7 @@ impl WorkloadGen for ScanIndex {
                 }
             }
         }
-        em.finish()
+        em.finish_packed()
     }
 }
 

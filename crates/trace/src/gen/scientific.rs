@@ -8,6 +8,7 @@
 //! live tiles from the streamed sweep.
 
 use super::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen};
+use crate::packed::PackedTrace;
 use crate::record::TraceRecord;
 use crate::PAGE_SIZE;
 use serde::{Deserialize, Serialize};
@@ -40,7 +41,7 @@ impl WorkloadGen for TiledStencil {
         Category::Scientific
     }
 
-    fn generate(&self, len: usize, _seed: u64) -> Vec<TraceRecord> {
+    fn generate_packed(&self, len: usize, _seed: u64) -> PackedTrace {
         let mut asp = AddressSpace::new();
         let outer_fn = CodeBlock::new(asp.code_region(1));
         let dot_fn = CodeBlock::new(asp.code_region(1));
@@ -87,7 +88,7 @@ impl WorkloadGen for TiledStencil {
                 tile_idx += 1;
             }
         }
-        em.finish()
+        em.finish_packed()
     }
 }
 

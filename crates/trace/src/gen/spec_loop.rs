@@ -8,6 +8,7 @@
 //! S-curve in Figure 7).
 
 use super::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen};
+use crate::packed::PackedTrace;
 use crate::record::TraceRecord;
 use crate::PAGE_SIZE;
 use serde::{Deserialize, Serialize};
@@ -47,7 +48,7 @@ impl WorkloadGen for SpecLoops {
         Category::Spec
     }
 
-    fn generate(&self, len: usize, _seed: u64) -> Vec<TraceRecord> {
+    fn generate_packed(&self, len: usize, _seed: u64) -> PackedTrace {
         let mut asp = AddressSpace::new();
         let kernel = CodeBlock::new(asp.code_region(1));
         let scalar_base = asp.data_region(1);
@@ -86,7 +87,7 @@ impl WorkloadGen for SpecLoops {
                 }
             }
         }
-        em.finish()
+        em.finish_packed()
     }
 }
 

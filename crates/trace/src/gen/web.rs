@@ -8,6 +8,7 @@
 //! behaviour the paper's introduction motivates.
 
 use super::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen, Zipf};
+use crate::packed::PackedTrace;
 use crate::record::TraceRecord;
 use crate::PAGE_SIZE;
 use rand::rngs::SmallRng;
@@ -55,7 +56,7 @@ impl WorkloadGen for WebServe {
         Category::Web
     }
 
-    fn generate(&self, len: usize, seed: u64) -> Vec<TraceRecord> {
+    fn generate_packed(&self, len: usize, seed: u64) -> PackedTrace {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x3EB);
         let mut asp = AddressSpace::new();
         let dispatcher = CodeBlock::new(asp.code_region(1));
@@ -109,7 +110,7 @@ impl WorkloadGen for WebServe {
             ));
             em.push(TraceRecord::cond_branch(dispatcher.pc(3), dispatcher.pc(0), true));
         }
-        em.finish()
+        em.finish_packed()
     }
 }
 

@@ -27,12 +27,14 @@
 
 pub mod codec;
 pub mod gen;
+pub mod packed;
 pub mod record;
 pub mod stats;
 pub mod suite;
 
-pub use codec::{read_trace, write_trace, CodecError};
+pub use codec::{read_trace, read_trace_packed, write_trace, write_trace_packed, CodecError};
 pub use gen::Category;
+pub use packed::{PackedTrace, PackedTraceBuilder, TraceSource};
 pub use record::{BranchClass, InstrKind, TraceRecord};
 pub use stats::TraceStats;
 pub use suite::{BenchmarkSpec, SuiteConfig};

@@ -88,6 +88,12 @@ impl BenchmarkSpec {
     pub fn generate(&self, len: usize) -> Vec<TraceRecord> {
         self.spec.as_gen().generate(len, self.seed)
     }
+
+    /// Generates the benchmark's trace in packed struct-of-arrays form —
+    /// what the suite runner keeps resident.
+    pub fn generate_packed(&self, len: usize) -> crate::packed::PackedTrace {
+        self.spec.as_gen().generate_packed(len, self.seed)
+    }
 }
 
 /// Suite construction parameters.

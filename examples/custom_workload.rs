@@ -9,7 +9,7 @@
 
 use chirp_repro::sim::{PolicyKind, SimConfig, Simulator};
 use chirp_repro::trace::gen::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen};
-use chirp_repro::trace::{TraceRecord, PAGE_SIZE};
+use chirp_repro::trace::{PackedTrace, TraceRecord, PAGE_SIZE};
 
 /// A minimal log-structured-store workload.
 struct LogStore {
@@ -26,7 +26,7 @@ impl WorkloadGen for LogStore {
         Category::Mixed
     }
 
-    fn generate(&self, len: usize, _seed: u64) -> Vec<TraceRecord> {
+    fn generate_packed(&self, len: usize, _seed: u64) -> PackedTrace {
         let mut asp = AddressSpace::new();
         let append_fn = CodeBlock::new(asp.code_region(1));
         let compact_fn = CodeBlock::new(asp.code_region(1));
@@ -55,13 +55,13 @@ impl WorkloadGen for LogStore {
             }
             head += self.segment_pages;
         }
-        em.finish()
+        em.finish_packed()
     }
 }
 
 fn main() {
     let workload = LogStore { log_pages: 1 << 15, segment_pages: 96 };
-    let trace = workload.generate(1_500_000, 0);
+    let trace = workload.generate_packed(1_500_000, 0);
     println!("workload: {} ({} instructions)", workload.name(), trace.len());
 
     let config = SimConfig::default();

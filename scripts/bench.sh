@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Suite-runner performance benchmark: packed-trace scheduler vs the flat
+# benchwise baseline, 1 vs 8 threads, 4 benchmarks x 9 policies.
+#
+#   scripts/bench.sh            run and append to BENCH_runner.json
+#   CHIRP_BENCH_OUT=out.json scripts/bench.sh     write elsewhere
+#
+# Each invocation appends one JSON line (median wall seconds and peak
+# resident trace bytes per configuration, plus the derived 8-thread
+# speedup and memory ratio), so the file accumulates a trajectory across
+# commits. Release profile: Criterion benches always build optimized.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo bench -p chirp-bench --bench suite_runner "$@"
+
+out="${CHIRP_BENCH_OUT:-BENCH_runner.json}"
+if [[ -f "$out" ]]; then
+    echo "==> latest trajectory line:"
+    tail -n 1 "$out"
+fi

@@ -5,15 +5,12 @@
 
 use chirp_repro::sim::runner::{run_suite, run_suite_cached, RunnerConfig};
 use chirp_repro::sim::PolicyKind;
-use chirp_repro::store::{Store, TraceArchive};
+use chirp_repro::store::{Store, TempDir, TraceArchive};
 use chirp_repro::trace::suite::{build_suite, SuiteConfig};
 use std::fs;
-use std::path::PathBuf;
 
-fn fresh_store(tag: &str) -> PathBuf {
-    let root = std::env::temp_dir().join(format!("chirp-e2e-{tag}-{}", std::process::id()));
-    let _ = fs::remove_dir_all(&root);
-    root
+fn fresh_store(tag: &str) -> TempDir {
+    TempDir::new(&format!("e2e-{tag}"))
 }
 
 #[test]
@@ -23,19 +20,18 @@ fn second_cached_run_performs_zero_simulations() {
     let policies = [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Ship];
     let config = RunnerConfig { instructions: 20_000, threads: 2, ..Default::default() };
 
-    let (first, stats) = run_suite_cached(&suite, &policies, &config, &root).unwrap();
+    let (first, stats) = run_suite_cached(&suite, &policies, &config, root.path()).unwrap();
     assert_eq!(first.len(), suite.len() * policies.len());
     assert_eq!(stats.simulated, suite.len() * policies.len());
     assert_eq!(stats.ledger_hits, 0);
 
-    let (second, stats) = run_suite_cached(&suite, &policies, &config, &root).unwrap();
+    let (second, stats) = run_suite_cached(&suite, &policies, &config, root.path()).unwrap();
     assert_eq!(stats.simulated, 0, "a repeat run must not simulate anything");
     assert_eq!(stats.ledger_hits, suite.len() * policies.len());
     assert_eq!(second, first, "cached results must be byte-identical");
 
     // And the cached results agree with a plain uncached run.
     assert_eq!(run_suite(&suite, &policies, &config), first);
-    let _ = fs::remove_dir_all(&root);
 }
 
 #[test]
@@ -44,21 +40,20 @@ fn config_change_invalidates_only_affected_runs() {
     let suite = build_suite(&SuiteConfig { benchmarks: 2 });
     let policies = [PolicyKind::Lru];
     let config = RunnerConfig { instructions: 15_000, threads: 1, ..Default::default() };
-    run_suite_cached(&suite, &policies, &config, &root).unwrap();
+    run_suite_cached(&suite, &policies, &config, root.path()).unwrap();
 
     // Same store, different simulator configuration: nothing can be
     // reused, but the archived traces are.
     let mut changed = config.clone();
     changed.sim = changed.sim.with_walk_penalty(changed.sim.tlb.walk_penalty + 50);
-    let (_, stats) = run_suite_cached(&suite, &policies, &changed, &root).unwrap();
+    let (_, stats) = run_suite_cached(&suite, &policies, &changed, root.path()).unwrap();
     assert_eq!(stats.ledger_hits, 0);
     assert_eq!(stats.simulated, suite.len());
     assert_eq!(stats.trace_hits, suite.len() as u64, "traces must come from the archive");
 
     // Re-running the original configuration still hits its old entries.
-    let (_, stats) = run_suite_cached(&suite, &policies, &config, &root).unwrap();
+    let (_, stats) = run_suite_cached(&suite, &policies, &config, root.path()).unwrap();
     assert_eq!(stats.simulated, 0);
-    let _ = fs::remove_dir_all(&root);
 }
 
 #[test]
@@ -67,10 +62,10 @@ fn corrupted_archive_file_is_transparently_regenerated() {
     let suite = build_suite(&SuiteConfig { benchmarks: 2 });
     let policies = [PolicyKind::Lru];
     let config = RunnerConfig { instructions: 15_000, threads: 1, ..Default::default() };
-    let (first, _) = run_suite_cached(&suite, &policies, &config, &root).unwrap();
+    let (first, _) = run_suite_cached(&suite, &policies, &config, root.path()).unwrap();
 
     // Corrupt every archived trace in place.
-    let traces_dir = root.join("traces");
+    let traces_dir = root.path().join("traces");
     let mut corrupted = 0;
     for entry in fs::read_dir(&traces_dir).unwrap() {
         let path = entry.unwrap().path();
@@ -85,20 +80,19 @@ fn corrupted_archive_file_is_transparently_regenerated() {
     assert_eq!(corrupted, suite.len());
 
     // The ledger still answers, so nothing even touches the corrupt files…
-    let (again, stats) = run_suite_cached(&suite, &policies, &config, &root).unwrap();
+    let (again, stats) = run_suite_cached(&suite, &policies, &config, root.path()).unwrap();
     assert_eq!(again, first);
     assert_eq!(stats.simulated, 0);
 
     // …but a run that needs the traces detects the damage and heals it
     // rather than failing.
-    let (_, stats) = run_suite_cached(&suite, &[PolicyKind::Random], &config, &root).unwrap();
+    let (_, stats) = run_suite_cached(&suite, &[PolicyKind::Random], &config, root.path()).unwrap();
     assert_eq!(stats.trace_regenerated, suite.len() as u64);
     assert_eq!(stats.simulated, suite.len());
 
-    let store = Store::open(&root).unwrap();
+    let store = Store::open(root.path()).unwrap();
     let (valid, corrupt) = store.archive.verify();
     assert_eq!((valid, corrupt.len()), (suite.len(), 0), "archive must be healed");
-    let _ = fs::remove_dir_all(&root);
 }
 
 #[test]
