@@ -1,5 +1,8 @@
 //! Suite-runner benchmark: packed-trace scheduler vs the flat benchwise
-//! baseline, at 1 and N threads, over a 4-benchmark × 9-policy matrix.
+//! baseline, at 1 and N threads, over a 4-benchmark × 9-policy matrix,
+//! plus an epoch-telemetry variant that guards instrumentation overhead
+//! (`telemetry_overhead_8t` in the trajectory is instrumented wall-clock
+//! over uninstrumented at 8 threads).
 //!
 //! Prints the usual Criterion lines and appends one JSON object per
 //! invocation to `BENCH_runner.json` at the workspace root (override with
@@ -11,7 +14,10 @@
 
 use chirp_core::ChirpConfig;
 use chirp_sim::baseline::run_suite_benchwise;
-use chirp_sim::{last_scheduler_summary, run_suite, PolicyKind, RunnerConfig};
+use chirp_sim::{
+    last_scheduler_summary, run_suite, run_suite_telemetry, PolicyKind, RunnerConfig, TelemetrySpec,
+};
+use chirp_telemetry::TelemetryMode;
 use chirp_trace::suite::{build_suite, BenchmarkSpec, SuiteConfig};
 use chirp_trace::TraceRecord;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -50,17 +56,35 @@ struct Measured {
     peak_trace_bytes: u64,
 }
 
+/// Which runner a benchmark variant exercises.
+#[derive(Clone, Copy)]
+enum Variant {
+    Benchwise,
+    Sched,
+    /// Scheduler with epoch telemetry on — the instrumentation overhead
+    /// guard. Must stay close to `Sched` wall-clock.
+    SchedTelemetry,
+}
+
 fn bench_suite_runner(c: &mut Criterion) {
     let suite: Vec<BenchmarkSpec> = build_suite(&SuiteConfig { benchmarks: BENCHMARKS });
     let policies = lineup9();
+    let telemetry =
+        TelemetrySpec { mode: TelemetryMode::Epochs, epoch_instructions: INSTRUCTIONS as u64 / 10 };
 
-    // Equivalence sanity before timing anything: the two runners must
-    // agree bit-for-bit or the comparison is meaningless.
+    // Equivalence sanity before timing anything: the runners must agree
+    // bit-for-bit or the comparison is meaningless. This also pins the
+    // telemetry guarantee: instrumented results match the baseline.
     let reference = run_suite_benchwise(&suite, &policies, &config(2));
     assert_eq!(
         run_suite(&suite, &policies, &config(2)),
         reference,
         "scheduler must reproduce the baseline bit-for-bit"
+    );
+    assert_eq!(
+        run_suite_telemetry(&suite, &policies, &config(2), &telemetry).0,
+        reference,
+        "instrumented runs must reproduce the baseline bit-for-bit"
     );
 
     let flat_bytes_per_trace = (INSTRUCTIONS * std::mem::size_of::<TraceRecord>()) as u64;
@@ -68,11 +92,12 @@ fn bench_suite_runner(c: &mut Criterion) {
     let mut group = c.benchmark_group("suite_runner");
     group.sample_size(3);
 
-    for (name, threads, benchwise) in [
-        ("baseline_benchwise_1t", 1, true),
-        ("baseline_benchwise_8t", THREADS_HIGH, true),
-        ("sched_packed_1t", 1, false),
-        ("sched_packed_8t", THREADS_HIGH, false),
+    for (name, threads, variant) in [
+        ("baseline_benchwise_1t", 1, Variant::Benchwise),
+        ("baseline_benchwise_8t", THREADS_HIGH, Variant::Benchwise),
+        ("sched_packed_1t", 1, Variant::Sched),
+        ("sched_packed_8t", THREADS_HIGH, Variant::Sched),
+        ("telemetry_epochs_8t", THREADS_HIGH, Variant::SchedTelemetry),
     ] {
         let samples = Mutex::new(Vec::new());
         let mut peak_bytes = 0u64;
@@ -80,19 +105,22 @@ fn bench_suite_runner(c: &mut Criterion) {
             b.iter(|| {
                 let cfg = config(threads);
                 let t0 = Instant::now();
-                let runs = if benchwise {
-                    run_suite_benchwise(&suite, &policies, &cfg)
-                } else {
-                    run_suite(&suite, &policies, &cfg)
+                let runs = match variant {
+                    Variant::Benchwise => run_suite_benchwise(&suite, &policies, &cfg),
+                    Variant::Sched => run_suite(&suite, &policies, &cfg),
+                    Variant::SchedTelemetry => {
+                        run_suite_telemetry(&suite, &policies, &cfg, &telemetry).0
+                    }
                 };
                 samples.lock().expect("samples lock").push(t0.elapsed().as_secs_f64());
                 runs
             })
         });
-        peak_bytes = if benchwise {
-            threads.min(BENCHMARKS) as u64 * flat_bytes_per_trace
-        } else {
-            last_scheduler_summary().expect("scheduler ran").peak_resident_bytes
+        peak_bytes = match variant {
+            Variant::Benchwise => threads.min(BENCHMARKS) as u64 * flat_bytes_per_trace,
+            Variant::Sched | Variant::SchedTelemetry => {
+                last_scheduler_summary().expect("scheduler ran").peak_resident_bytes
+            }
         }
         .max(peak_bytes);
         measured.push(Measured {
@@ -112,8 +140,10 @@ fn write_trajectory(measured: &[Measured]) {
     let by_name = |n: &str| measured.iter().find(|m| m.name == n).expect("measured");
     let base_8t = by_name("baseline_benchwise_8t");
     let sched_8t = by_name("sched_packed_8t");
+    let telemetry_8t = by_name("telemetry_epochs_8t");
     let speedup_8t = base_8t.median_secs / sched_8t.median_secs.max(1e-9);
     let mem_ratio = sched_8t.peak_trace_bytes as f64 / base_8t.peak_trace_bytes.max(1) as f64;
+    let telemetry_overhead_8t = telemetry_8t.median_secs / sched_8t.median_secs.max(1e-9);
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     let fields: Vec<String> = measured
@@ -128,7 +158,8 @@ fn write_trajectory(measured: &[Measured]) {
     let line = format!(
         "{{\"bench\":\"suite_runner\",\"benchmarks\":{BENCHMARKS},\"policies\":9,\
          \"instructions\":{INSTRUCTIONS},\"cpus\":{cpus},{},\
-         \"speedup_8t\":{speedup_8t:.3},\"peak_mem_ratio_8t\":{mem_ratio:.4}}}",
+         \"speedup_8t\":{speedup_8t:.3},\"peak_mem_ratio_8t\":{mem_ratio:.4},\
+         \"telemetry_overhead_8t\":{telemetry_overhead_8t:.3}}}",
         fields.join(",")
     );
 

@@ -30,7 +30,13 @@ fn make(name: &str) -> Box<dyn WorkloadGen> {
 fn main() {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "ctxcopy".to_string());
-    let len: usize = args.next().map(|s| s.parse().expect("length")).unwrap_or(1_000_000);
+    let len: usize = match args.next() {
+        None => 1_000_000,
+        Some(s) => chirp_bench::exit_on_err(
+            s.replace('_', "").parse(),
+            format!("invalid instruction count {s}"),
+        ),
+    };
     let gen = make(&name);
     let trace = gen.generate(len, 0);
     let stats = chirp_trace::TraceStats::from_trace(&trace);

@@ -49,6 +49,6 @@ fn main() {
     println!("Extension baselines vs the paper lineup ({} benchmarks)\n", grouped.len());
     println!("{}", table.render());
     let path = Path::new("results/ext_baselines.csv");
-    csv.write_csv(path).expect("write csv");
+    chirp_bench::exit_on_err(csv.write_csv(path), format!("cannot write {}", path.display()));
     eprintln!("wrote {}", path.display());
 }

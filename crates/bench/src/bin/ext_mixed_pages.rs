@@ -36,6 +36,6 @@ fn main() {
         ]);
     }
     let path = Path::new("results/ext_mixed_pages.csv");
-    csv.write_csv(path).expect("write csv");
+    chirp_bench::exit_on_err(csv.write_csv(path), format!("cannot write {}", path.display()));
     eprintln!("wrote {}", path.display());
 }

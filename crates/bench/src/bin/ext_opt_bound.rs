@@ -24,6 +24,6 @@ fn main() {
         csv.row([name.clone(), format!("{l:.4}"), format!("{c:.4}"), format!("{o:.4}")]);
     }
     let path = Path::new("results/ext_opt_bound.csv");
-    csv.write_csv(path).expect("write csv");
+    chirp_bench::exit_on_err(csv.write_csv(path), format!("cannot write {}", path.display()));
     eprintln!("wrote {}", path.display());
 }

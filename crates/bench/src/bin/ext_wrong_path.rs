@@ -19,6 +19,6 @@ fn main() {
         csv.row([format!("{p}"), format!("{m:.6}"), format!("{r:.6}")]);
     }
     let path = Path::new("results/ext_wrong_path.csv");
-    csv.write_csv(path).expect("write csv");
+    chirp_bench::exit_on_err(csv.write_csv(path), format!("cannot write {}", path.display()));
     eprintln!("wrote {}", path.display());
 }

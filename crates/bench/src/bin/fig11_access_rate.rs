@@ -29,6 +29,6 @@ fn main() {
         csv.row(row);
     }
     let path = Path::new("results/fig11_access_rate.csv");
-    csv.write_csv(path).expect("write csv");
+    chirp_bench::exit_on_err(csv.write_csv(path), format!("cannot write {}", path.display()));
     eprintln!("wrote {}", path.display());
 }

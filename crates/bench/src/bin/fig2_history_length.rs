@@ -24,6 +24,6 @@ fn main() {
         ]);
     }
     let path = Path::new("results/fig2_history.csv");
-    csv.write_csv(path).expect("write csv");
+    chirp_bench::exit_on_err(csv.write_csv(path), format!("cannot write {}", path.display()));
     eprintln!("wrote {}", path.display());
 }

@@ -20,6 +20,6 @@ fn main() {
         csv.row([format!("{bytes}"), format!("{r:.6}")]);
     }
     let path = Path::new("results/fig9_table_size.csv");
-    csv.write_csv(path).expect("write csv");
+    chirp_bench::exit_on_err(csv.write_csv(path), format!("cannot write {}", path.display()));
     eprintln!("wrote {}", path.display());
 }

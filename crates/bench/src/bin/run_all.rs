@@ -4,12 +4,13 @@
 //! `run_all --benchmarks 870 --instructions 1_000_000` regenerates the
 //! committed EXPERIMENTS.md numbers.
 
-use chirp_bench::{print_scheduler_summary, HarnessArgs};
+use chirp_bench::{print_scheduler_summary, render_policy_rollup, HarnessArgs};
 use chirp_sim::experiments::{
     fig10_penalty, fig11_access_rate, fig1_efficiency, fig2_history, fig3_adaline, fig6_ablation,
     fig7_mpki, fig8_speedup, fig9_table_size,
 };
 use chirp_sim::SimConfig;
+use chirp_telemetry::TelemetryMode;
 use chirp_trace::suite::{build_suite, SuiteConfig};
 
 fn main() {
@@ -27,7 +28,31 @@ fn main() {
     // Figures 1, 7, 8 and 11 are different views of the same suite run.
     section("Figures 1/7/8/11 (shared suite run)");
     let policies = chirp_sim::PolicyKind::paper_lineup();
-    let runs = chirp_sim::run_suite(&suite, &policies, &config);
+    let telemetry = args.telemetry_spec();
+    let runs = if telemetry.mode.is_enabled() {
+        // Instrumented runs return results bit-identical to run_suite but
+        // always simulate (the ledger has no epoch series to answer with).
+        let (runs, series) = chirp_sim::run_suite_telemetry(&suite, &policies, &config, &telemetry);
+        if telemetry.mode == TelemetryMode::Epochs {
+            let path = args.telemetry_out.join("telemetry_epochs.jsonl");
+            match chirp_sim::write_series(&path, &series) {
+                Ok(()) => eprintln!(
+                    "[telemetry] {} unit series ({} epochs) -> {}",
+                    series.len(),
+                    series.iter().map(|u| u.rows.len()).sum::<usize>(),
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("error: cannot write telemetry series {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!("==== Telemetry (policy rollup) ====\n{}", render_policy_rollup(&series));
+        runs
+    } else {
+        chirp_sim::run_suite(&suite, &policies, &config)
+    };
     println!(
         "==== Figure 7 ====\n{}",
         fig7_mpki::render(&fig7_mpki::from_runs(&runs, policies.len()))

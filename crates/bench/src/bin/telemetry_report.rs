@@ -1,0 +1,81 @@
+//! Renders phase summaries from a telemetry epoch series.
+//!
+//! Two modes:
+//!
+//! * `telemetry_report --input FILE` reads a JSONL series previously
+//!   written by `run_all --telemetry epochs` (or [`chirp_sim::write_series`])
+//!   and renders it without simulating anything;
+//! * without `--input`, it runs the paper lineup over a fresh suite with
+//!   epoch instrumentation (honouring the usual harness flags plus
+//!   `--epoch-instructions`) and reports on that run.
+//!
+//! Output: one per-unit phase-summary table (epoch counts, MPKI phase
+//! spread, table access rate, dead-prediction accuracy) and a per-policy
+//! rollup — the time-resolved view of the paper's Figure 11 claim that
+//! CHiRP touches its prediction tables on roughly 10% of L2 TLB accesses.
+
+use chirp_bench::{
+    print_scheduler_summary, render_phase_summary, render_policy_rollup, HarnessArgs,
+};
+use chirp_sim::telemetry::TelemetrySpec;
+use chirp_telemetry::TelemetryMode;
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let input = extract_input(&mut raw).unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    });
+
+    let series = match input {
+        Some(path) => chirp_sim::read_series(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read telemetry series {}: {e}", path.display());
+            std::process::exit(1);
+        }),
+        None => {
+            let args = HarnessArgs::parse(raw).unwrap_or_else(|msg| {
+                eprintln!("{msg} (telemetry_report also accepts --input FILE)");
+                std::process::exit(2);
+            });
+            let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
+            let policies = chirp_sim::PolicyKind::paper_lineup();
+            // A report needs epochs regardless of the --telemetry flag.
+            let spec = TelemetrySpec {
+                mode: TelemetryMode::Epochs,
+                epoch_instructions: args.epoch_instructions,
+            };
+            let (_, series) =
+                chirp_sim::run_suite_telemetry(&suite, &policies, &args.runner_config(), &spec);
+            print_scheduler_summary("telemetry report");
+            series
+        }
+    };
+
+    if series.is_empty() {
+        eprintln!("error: no telemetry series to report on");
+        std::process::exit(1);
+    }
+    println!("==== Per-unit phase summary ====\n{}", render_phase_summary(&series));
+    println!("==== Per-policy rollup ====\n{}", render_policy_rollup(&series));
+}
+
+/// Pulls `--input FILE` out of the raw argument list, leaving the rest for
+/// [`HarnessArgs::parse`].
+fn extract_input(raw: &mut Vec<String>) -> Result<Option<PathBuf>, String> {
+    match raw.iter().position(|a| a == "--input") {
+        None => Ok(None),
+        Some(i) => {
+            if i + 1 >= raw.len() {
+                return Err("--input needs a file path".to_string());
+            }
+            let path = PathBuf::from(raw.remove(i + 1));
+            raw.remove(i);
+            if raw.iter().any(|a| a == "--input") {
+                return Err("--input given more than once".to_string());
+            }
+            Ok(Some(path))
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! trace_tool verify <store>           checksum-audit the archive
 //! ```
 
+use chirp_bench::exit_on_err;
 use chirp_store::{ArchiveOutcome, TraceArchive};
 use chirp_trace::suite::{build_suite, nth_benchmark, SuiteConfig};
 use chirp_trace::{read_trace, write_trace, TraceStats};
@@ -51,7 +52,7 @@ fn main() {
                 .expect("index within the suite it defines");
             let trace = bench.generate(len);
             let bytes = write_trace(&trace);
-            std::fs::write(out, &bytes).expect("write trace file");
+            exit_on_err(std::fs::write(out, &bytes), format!("cannot write trace {out}"));
             println!(
                 "wrote {} ({} records, {} bytes, {:.2} bits/record)",
                 out,
@@ -62,8 +63,8 @@ fn main() {
         }
         Some("stats") => {
             let Some(file) = args.get(1) else { usage() };
-            let bytes = std::fs::read(file).expect("read trace file");
-            let trace = read_trace(&bytes).expect("decode trace");
+            let bytes = exit_on_err(std::fs::read(file), format!("cannot read trace {file}"));
+            let trace = exit_on_err(read_trace(&bytes), format!("cannot decode trace {file}"));
             let s = TraceStats::from_trace(&trace);
             println!("instructions   {}", s.instructions);
             println!("loads          {}", s.loads);
@@ -79,8 +80,8 @@ fn main() {
         Some("head") => {
             let Some(file) = args.get(1) else { usage() };
             let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
-            let bytes = std::fs::read(file).expect("read trace file");
-            let trace = read_trace(&bytes).expect("decode trace");
+            let bytes = exit_on_err(std::fs::read(file), format!("cannot read trace {file}"));
+            let trace = exit_on_err(read_trace(&bytes), format!("cannot decode trace {file}"));
             for r in trace.iter().take(n) {
                 println!("{r:x?}");
             }
@@ -91,9 +92,13 @@ fn main() {
             let len: usize =
                 args.get(3).and_then(|s| s.replace('_', "").parse().ok()).unwrap_or(1_000_000);
             let suite = build_suite(&SuiteConfig { benchmarks: n });
-            let mut archive = TraceArchive::open(Path::new(store)).expect("open trace archive");
+            let mut archive = exit_on_err(
+                TraceArchive::open(Path::new(store)),
+                format!("cannot open archive {store}"),
+            );
             for (i, bench) in suite.iter().enumerate() {
-                let outcome = archive.pack(bench, len).expect("archive trace");
+                let outcome =
+                    exit_on_err(archive.pack(bench, len), format!("cannot archive {}", bench.name));
                 let tag = match outcome {
                     ArchiveOutcome::Hit => "ok     ",
                     ArchiveOutcome::MissGenerated => "packed ",
@@ -112,7 +117,10 @@ fn main() {
         }
         Some("verify") => {
             let Some(store) = args.get(1) else { usage() };
-            let archive = TraceArchive::open(Path::new(store)).expect("open trace archive");
+            let archive = exit_on_err(
+                TraceArchive::open(Path::new(store)),
+                format!("cannot open archive {store}"),
+            );
             let (valid, corrupt) = archive.verify();
             println!(
                 "{} archived traces: {} valid, {} corrupt",

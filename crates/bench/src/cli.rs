@@ -11,9 +11,17 @@
 //! --mem-budget BYTES  cap on packed-trace bytes in flight across workers
 //!                     (suffixes K/M/G; default unbounded)
 //! --full              shorthand for the paper-scale run (870 benchmarks)
+//! --telemetry MODE    off|summary|epochs (default off; epochs records a
+//!                     per-epoch JSONL time series next to the results)
+//! --epoch-instructions N
+//!                     measured instructions per telemetry epoch
+//!                     (default 100_000)
+//! --telemetry-out DIR where telemetry series land
+//!                     (default results/telemetry)
 //! ```
 
-use chirp_sim::RunnerConfig;
+use chirp_sim::{RunnerConfig, TelemetrySpec};
+use chirp_telemetry::TelemetryMode;
 use std::path::PathBuf;
 
 /// Parsed harness arguments.
@@ -29,6 +37,12 @@ pub struct HarnessArgs {
     pub store: Option<PathBuf>,
     /// Optional cap on packed-trace bytes resident across workers.
     pub mem_budget: Option<u64>,
+    /// Telemetry mode for binaries that support instrumented runs.
+    pub telemetry: TelemetryMode,
+    /// Measured instructions per telemetry epoch.
+    pub epoch_instructions: u64,
+    /// Directory where telemetry series are written.
+    pub telemetry_out: PathBuf,
 }
 
 impl Default for HarnessArgs {
@@ -39,6 +53,9 @@ impl Default for HarnessArgs {
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             store: None,
             mem_budget: None,
+            telemetry: TelemetryMode::Off,
+            epoch_instructions: 100_000,
+            telemetry_out: PathBuf::from("results/telemetry"),
         }
     }
 }
@@ -71,10 +88,24 @@ impl HarnessArgs {
                     out.benchmarks = 870;
                     out.instructions = 10_000_000;
                 }
+                "--telemetry" => {
+                    let v = it.next().ok_or_else(|| format!("{arg} needs a mode"))?;
+                    out.telemetry = v.parse().map_err(|e| format!("{arg}: {e}"))?;
+                }
+                "--epoch-instructions" => {
+                    out.epoch_instructions = next_num(&mut it, &arg)? as u64;
+                }
+                "--telemetry-out" => {
+                    let dir = it.next().ok_or_else(|| format!("{arg} needs a directory"))?;
+                    out.telemetry_out = PathBuf::from(dir);
+                }
                 "--help" | "-h" => {
-                    return Err("usage: [--benchmarks N] [--instructions M] [--threads T] \
-                         [--store DIR] [--mem-budget BYTES[K|M|G]] [--full]"
-                        .to_string())
+                    return Err(format!(
+                        "usage: [--benchmarks N] [--instructions M] [--threads T] \
+                         [--store DIR] [--mem-budget BYTES[K|M|G]] [--full] \
+                         [--telemetry {}] [--epoch-instructions N] [--telemetry-out DIR]",
+                        TelemetryMode::HELP
+                    ))
                 }
                 other => return Err(format!("unknown flag: {other}")),
             }
@@ -84,6 +115,9 @@ impl HarnessArgs {
         }
         if out.mem_budget == Some(0) {
             return Err("--mem-budget must be positive".to_string());
+        }
+        if out.epoch_instructions == 0 {
+            return Err("--epoch-instructions must be positive".to_string());
         }
         Ok(out)
     }
@@ -110,6 +144,25 @@ impl HarnessArgs {
             store: self.store.clone(),
             mem_budget: self.mem_budget,
             ..Default::default()
+        }
+    }
+
+    /// The [`TelemetrySpec`] these arguments describe.
+    pub fn telemetry_spec(&self) -> TelemetrySpec {
+        TelemetrySpec { mode: self.telemetry, epoch_instructions: self.epoch_instructions }
+    }
+}
+
+/// Unwraps a top-level fallible operation in a harness binary, printing
+/// a contextual error to stderr and exiting with status 1 instead of
+/// panicking with a backtrace. For operator-facing I/O failures (missing
+/// directories, permissions), the message is the useful part.
+pub fn exit_on_err<T, E: std::fmt::Display>(result: Result<T, E>, context: impl AsRef<str>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {}: {e}", context.as_ref());
+            std::process::exit(1);
         }
     }
 }
@@ -169,10 +222,37 @@ mod tests {
                 benchmarks: 10,
                 instructions: 5_000,
                 threads: 2,
-                store: None,
-                mem_budget: None
+                ..HarnessArgs::default()
             }
         );
+    }
+
+    #[test]
+    fn telemetry_flags_parse_and_reach_the_spec() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.telemetry, TelemetryMode::Off);
+        assert!(!a.telemetry_spec().mode.is_enabled(), "telemetry defaults off");
+
+        let a = parse(&[
+            "--telemetry",
+            "epochs",
+            "--epoch-instructions",
+            "50_000",
+            "--telemetry-out",
+            "out/t",
+        ])
+        .unwrap();
+        assert_eq!(a.telemetry, TelemetryMode::Epochs);
+        assert_eq!(a.telemetry_out, PathBuf::from("out/t"));
+        let spec = a.telemetry_spec();
+        assert_eq!(spec.mode, TelemetryMode::Epochs);
+        assert_eq!(spec.epoch_instructions, 50_000);
+
+        assert_eq!(parse(&["--telemetry", "summary"]).unwrap().telemetry, TelemetryMode::Summary);
+        assert!(parse(&["--telemetry", "loud"]).is_err());
+        assert!(parse(&["--telemetry"]).is_err());
+        assert!(parse(&["--epoch-instructions", "0"]).is_err());
+        assert!(parse(&["--telemetry-out"]).is_err());
     }
 
     #[test]

@@ -2,5 +2,7 @@
 //! benches. See the `fig*`/`table*` binaries in `src/bin/`.
 
 pub mod cli;
+pub mod telemetry_view;
 
-pub use cli::{print_scheduler_summary, HarnessArgs};
+pub use cli::{exit_on_err, print_scheduler_summary, HarnessArgs};
+pub use telemetry_view::{render_phase_summary, render_policy_rollup};

@@ -1,0 +1,128 @@
+//! Rendering for telemetry series: the textual phase summaries shared by
+//! `run_all --telemetry summary` and the `telemetry_report` binary.
+
+use chirp_sim::report::Table;
+use chirp_sim::UnitSeries;
+
+/// One row per (benchmark × policy) unit: epoch count, MPKI phase
+/// statistics, the epoch-weighted prediction-table access rate (the
+/// paper's Figure 11 metric, resolved over time), and dead-prediction
+/// accuracy scored at eviction.
+pub fn render_phase_summary(series: &[UnitSeries]) -> String {
+    let mut table = Table::new([
+        "benchmark",
+        "policy",
+        "epochs",
+        "MPKI mean",
+        "MPKI min",
+        "MPKI max",
+        "tbl-acc rate",
+        "dead acc",
+    ]);
+    for unit in series {
+        let (mean, min, max) = unit.mpki_stats();
+        let outcomes = unit.dead_outcomes();
+        let accuracy = if outcomes.total() == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", outcomes.accuracy() * 100.0)
+        };
+        table.row([
+            unit.benchmark.clone(),
+            unit.policy.clone(),
+            unit.rows.len().to_string(),
+            format!("{mean:.3}"),
+            format!("{min:.3}"),
+            format!("{max:.3}"),
+            format!("{:.1}%", unit.mean_table_access_rate() * 100.0),
+            accuracy,
+        ]);
+    }
+    table.render()
+}
+
+/// Aggregates the phase series per policy: mean of the per-unit access
+/// rates and pooled dead-prediction accuracy — a compact cross-check of
+/// the paper's ~10% CHiRP table-access-rate claim.
+pub fn render_policy_rollup(series: &[UnitSeries]) -> String {
+    let mut policies: Vec<&str> = Vec::new();
+    for unit in series {
+        if !policies.contains(&unit.policy.as_str()) {
+            policies.push(&unit.policy);
+        }
+    }
+    let mut table = Table::new(["policy", "units", "mean tbl-acc rate", "dead acc"]);
+    for policy in policies {
+        let units: Vec<&UnitSeries> = series.iter().filter(|u| u.policy == policy).collect();
+        let rate =
+            units.iter().map(|u| u.mean_table_access_rate()).sum::<f64>() / units.len() as f64;
+        let outcomes = units
+            .iter()
+            .fold(chirp_tlb::DeadOutcomes::default(), |acc, u| acc.merged(&u.dead_outcomes()));
+        let accuracy = if outcomes.total() == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", outcomes.accuracy() * 100.0)
+        };
+        table.row([
+            policy.to_string(),
+            units.len().to_string(),
+            format!("{:.1}%", rate * 100.0),
+            accuracy,
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chirp_sim::EpochRecord;
+
+    fn unit(benchmark: &str, policy: &str, misses: &[u64]) -> UnitSeries {
+        UnitSeries {
+            benchmark: benchmark.to_string(),
+            policy: policy.to_string(),
+            epoch_instructions: 1000,
+            rows: misses
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| EpochRecord {
+                    epoch: i as u64,
+                    instructions: 1000,
+                    cycles: 2000,
+                    hits: 90,
+                    misses: m,
+                    cold_fills: 0,
+                    dead_evictions: m / 2,
+                    table_accesses: 10,
+                    true_dead: m / 2,
+                    false_dead: 0,
+                    true_live: 1,
+                    false_live: 1,
+                    occupancy: 1.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn phase_summary_lists_every_unit() {
+        let series = [unit("b0", "chirp", &[10, 20]), unit("b1", "lru", &[5])];
+        let out = render_phase_summary(&series);
+        assert!(out.contains("b0") && out.contains("b1"));
+        assert!(out.contains("chirp") && out.contains("lru"));
+        assert!(out.contains("15.000"), "mean MPKI of 10 and 20 misses per 1k instructions");
+    }
+
+    #[test]
+    fn rollup_groups_by_policy_in_first_seen_order() {
+        let series =
+            [unit("b0", "chirp", &[10]), unit("b1", "chirp", &[30]), unit("b0", "lru", &[10])];
+        let out = render_policy_rollup(&series);
+        let chirp_at = out.find("chirp").expect("chirp row");
+        let lru_at = out.find("lru").expect("lru row");
+        assert!(chirp_at < lru_at, "first-seen policy order");
+        assert!(out.contains("10.0%"), "10 table accesses per 100 L2 accesses");
+    }
+}

@@ -202,6 +202,10 @@ impl TlbReplacementPolicy for Chirp {
         self.counters.dead_evictions
     }
 
+    fn predicts_dead(&self, set: usize, way: usize) -> Option<bool> {
+        Some(self.meta[self.idx(set, way)].dead)
+    }
+
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }

@@ -12,6 +12,7 @@ use crate::config::SimConfig;
 use crate::metrics::RunResult;
 use chirp_branch::BranchUnit;
 use chirp_mem::MemoryHierarchy;
+use chirp_telemetry::{EpochRow, EpochSampler};
 use chirp_tlb::{TlbHierarchy, TlbReplacementPolicy, TlbStats, TranslationKind};
 use chirp_trace::{vpn, InstrKind, TraceRecord, TraceSource};
 
@@ -101,12 +102,63 @@ impl Simulator {
         for rec in records.by_ref().take(warmup.min(len)) {
             self.step(&rec);
         }
-        let cycles0 = self.cycles;
-        let instructions0 = self.instructions;
-        let stats0 = self.tlbs.l2().stats();
+        let window = self.window_start();
         for rec in records {
             self.step(&rec);
         }
+        self.finish_result(window)
+    }
+
+    /// Runs the whole trace like [`run`](Self::run), additionally sampling
+    /// telemetry counters every `epoch_instructions` measured instructions.
+    ///
+    /// Returns the identical [`RunResult`] that `run` would produce — the
+    /// instrumentation is strictly observational: the per-epoch probes go
+    /// through `&self` accessors (policy state, occupancy) and the
+    /// dead-outcome scoreboard is shadow state on the L2 TLB that never
+    /// feeds back into replacement decisions. The equivalence is pinned by
+    /// a suite-level test in the runner.
+    ///
+    /// Epochs cover the measured window only (warmup is excluded, like the
+    /// run totals); a trace whose measured length is not a multiple of the
+    /// epoch size ends with one shorter row. Deltas follow the
+    /// [`crate::telemetry::COUNTER_SCHEMA`] order; gauge 0 is L2 TLB
+    /// occupancy at the epoch boundary.
+    pub fn run_instrumented<T: TraceSource + ?Sized>(
+        &mut self,
+        trace: &T,
+        warmup_fraction: f64,
+        epoch_instructions: u64,
+    ) -> (RunResult, Vec<EpochRow>) {
+        self.tlbs.l2_mut().enable_outcome_tracking();
+        let len = trace.len();
+        let warmup = ((len as f64) * warmup_fraction.clamp(0.0, 1.0)) as usize;
+        let mut records = trace.records();
+        for rec in records.by_ref().take(warmup.min(len)) {
+            self.step(&rec);
+        }
+        let window = self.window_start();
+        let mut sampler = EpochSampler::new(epoch_instructions, self.telemetry_counters());
+        for rec in records {
+            self.step(&rec);
+            if sampler.tick() {
+                let counters = self.telemetry_counters();
+                sampler.sample(&counters, vec![self.tlbs.l2().occupancy()]);
+            }
+        }
+        let counters = self.telemetry_counters();
+        let rows = sampler.finish(&counters, vec![self.tlbs.l2().occupancy()]);
+        (self.finish_result(window), rows)
+    }
+
+    /// Snapshot of machine state at the start of the measured window.
+    fn window_start(&self) -> (u64, u64, TlbStats) {
+        (self.cycles, self.instructions, self.tlbs.l2().stats())
+    }
+
+    /// Assembles the [`RunResult`] for the window opened by
+    /// [`window_start`](Self::window_start).
+    fn finish_result(&self, (cycles0, instructions0, stats0): (u64, u64, TlbStats)) -> RunResult {
         let stats1 = self.tlbs.l2().stats();
         let measured = TlbStats {
             hits: stats1.hits - stats0.hits,
@@ -124,6 +176,26 @@ impl Simulator {
             l2_accesses_total: stats1.accesses(),
             efficiency: self.tlbs.l2().efficiency(),
         }
+    }
+
+    /// Absolute telemetry counter values, in
+    /// [`crate::telemetry::COUNTER_SCHEMA`] order.
+    fn telemetry_counters(&self) -> Vec<u64> {
+        let l2 = self.tlbs.l2();
+        let stats = l2.stats();
+        let outcomes = l2.dead_outcomes();
+        vec![
+            self.cycles,
+            stats.hits,
+            stats.misses,
+            stats.cold_fills,
+            stats.dead_evictions,
+            l2.policy().prediction_table_accesses(),
+            outcomes.true_dead,
+            outcomes.false_dead,
+            outcomes.true_live,
+            outcomes.false_live,
+        ]
     }
 
     /// Total cycles so far.

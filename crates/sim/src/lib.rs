@@ -29,6 +29,7 @@ pub mod report;
 pub mod runner;
 pub mod sched;
 pub mod store_cache;
+pub mod telemetry;
 
 pub use config::SimConfig;
 pub use engine::Simulator;
@@ -36,3 +37,6 @@ pub use metrics::RunResult;
 pub use registry::PolicyKind;
 pub use runner::{run_suite, run_suite_cached, BenchRun, CacheStats, RunnerConfig};
 pub use sched::{last_scheduler_summary, SchedulerSummary};
+pub use telemetry::{
+    read_series, run_suite_telemetry, write_series, EpochRecord, TelemetrySpec, UnitSeries,
+};

@@ -73,7 +73,7 @@ impl RunnerConfig {
 
     /// Per-trace byte estimate used for budget admission before a trace's
     /// real size is known.
-    fn trace_estimate(&self) -> u64 {
+    pub(crate) fn trace_estimate(&self) -> u64 {
         PackedTrace::estimate_bytes(self.instructions)
     }
 }
@@ -175,7 +175,7 @@ pub struct CacheStats {
 /// Output order and values match `run_suite` exactly — archived traces
 /// decode to the same records generation produces, and ledger keys cover
 /// everything that can affect a result (see
-/// [`run_key`](crate::store_cache::run_key)).
+/// [`crate::store_cache::run_key`]).
 ///
 /// The archive mutex guards only index probes and manifest bookkeeping;
 /// decode/generate/encode — the expensive steps — run outside it (see the

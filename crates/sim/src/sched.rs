@@ -26,6 +26,7 @@
 //! order is deterministic regardless of interleaving.
 
 use chirp_store::StoreError;
+use chirp_telemetry::{Gauge, HistogramSnapshot, Log2Histogram};
 use chirp_trace::PackedTrace;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
@@ -58,6 +59,12 @@ pub struct SchedulerSummary {
     pub peak_resident_bytes: u64,
     /// Most fetches in flight at any instant (decode/generate overlap).
     pub concurrent_fetch_peak: usize,
+    /// Most runnable simulation tasks queued at any instant (high values
+    /// mean workers, not fetch admission, are the bottleneck).
+    pub peak_ready_queue: i64,
+    /// Wall-clock latency of each simulation task, in microseconds, as a
+    /// log2 histogram.
+    pub sim_latency_us: HistogramSnapshot,
     /// Wall-clock time of the whole scheduler run.
     pub wall: Duration,
 }
@@ -67,13 +74,17 @@ impl SchedulerSummary {
     pub fn render(&self) -> String {
         format!(
             "{} work units ({} sims) on {} threads | peak {} traces / {:.1} MiB in flight | \
-             peak {} concurrent fetches | {:.2}s wall",
+             peak {} concurrent fetches, {} queued sims | sim latency p50 {} us / p99 {} us | \
+             {:.2}s wall",
             self.work_units,
             self.sim_tasks,
             self.threads,
             self.peak_resident_traces,
             self.peak_resident_bytes as f64 / (1024.0 * 1024.0),
             self.concurrent_fetch_peak,
+            self.peak_ready_queue,
+            self.sim_latency_us.quantile(0.5),
+            self.sim_latency_us.quantile(0.99),
             self.wall.as_secs_f64(),
         )
     }
@@ -165,6 +176,11 @@ where
     let cvar = Condvar::new();
     let results: Mutex<Vec<Vec<Option<R>>>> =
         Mutex::new(work.iter().map(|w| (0..w.policies.len()).map(|_| None).collect()).collect());
+    // Scheduler telemetry: runnable-queue depth (with peak) and per-task
+    // wall latency. Atomic primitives, so workers record without extending
+    // any lock hold.
+    let queue_depth = Gauge::new();
+    let sim_latency = Log2Histogram::new();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -173,12 +189,15 @@ where
             let results = &results;
             let fetch = &fetch;
             let simulate = &simulate;
+            let queue_depth = &queue_depth;
+            let sim_latency = &sim_latency;
             scope.spawn(move || loop {
                 let task = {
                     let mut st = state.lock().expect("scheduler lock");
                     loop {
                         if let Some((w, pos)) = st.ready.pop_front() {
                             st.active += 1;
+                            queue_depth.add(-1);
                             break Task::Sim(w, pos);
                         }
                         if st.next < work.len() && st.error.is_none() {
@@ -227,6 +246,7 @@ where
                                     for pos in 0..work[w].policies.len() {
                                         st.ready.push_back((w, pos));
                                     }
+                                    queue_depth.add(work[w].policies.len() as i64);
                                 }
                             }
                             Err(e) => {
@@ -235,6 +255,7 @@ where
                                 }
                                 // Stop admitting; let in-flight work drain.
                                 st.next = work.len();
+                                queue_depth.add(-(st.ready.len() as i64));
                                 st.ready.clear();
                             }
                         }
@@ -245,7 +266,9 @@ where
                             let st = state.lock().expect("scheduler lock");
                             Arc::clone(st.traces.get(&w).expect("ready task has resident trace"))
                         };
+                        let sim_started = Instant::now();
                         let r = simulate(w, pos, &trace);
+                        sim_latency.record(sim_started.elapsed().as_micros() as u64);
                         drop(trace);
                         results.lock().expect("results lock")[w][pos] = Some(r);
                         let mut st = state.lock().expect("scheduler lock");
@@ -274,6 +297,8 @@ where
         peak_resident_traces: st.peak_traces,
         peak_resident_bytes: st.peak_bytes,
         concurrent_fetch_peak: st.fetch_peak,
+        peak_ready_queue: queue_depth.peak(),
+        sim_latency_us: sim_latency.snapshot(),
         wall: started.elapsed(),
     };
     *LAST.lock().expect("summary lock") = Some(summary.clone());
@@ -320,6 +345,8 @@ mod tests {
         assert_eq!(summary.sim_tasks, 4);
         assert!(summary.peak_resident_traces >= 1);
         assert!(summary.peak_resident_bytes > 0);
+        assert_eq!(summary.sim_latency_us.total(), 4, "one latency sample per sim task");
+        assert!(summary.peak_ready_queue >= 1, "tasks must have queued at least once");
     }
 
     /// The lock-splitting satellite's regression probe: two workers that

@@ -1,0 +1,153 @@
+//! Write-only JSONL sink for telemetry rows.
+//!
+//! Rows are flat JSON objects with insertion-ordered keys — one object per
+//! line, so series files stream-append cleanly and `chirp-store`'s flat
+//! JSON parser (and any external tooling) can read them back. This module
+//! deliberately does not parse: the store crate already owns the
+//! read-side for flat objects.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A scalar cell in a [`JsonRow`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonCell {
+    /// An unsigned integer.
+    U64(u64),
+    /// A float; non-finite values render as `0` to keep the line valid
+    /// JSON.
+    F64(f64),
+    /// A string.
+    Str(String),
+}
+
+/// A flat JSON object whose fields render in insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JsonRow {
+    fields: Vec<(String, JsonCell)>,
+}
+
+impl JsonRow {
+    /// An empty row.
+    pub fn new() -> JsonRow {
+        JsonRow::default()
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_string(), JsonCell::U64(value)));
+        self
+    }
+
+    /// Appends a float field.
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.fields.push((key.to_string(), JsonCell::F64(value)));
+        self
+    }
+
+    /// Appends a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields.push((key.to_string(), JsonCell::Str(value.to_string())));
+        self
+    }
+
+    /// Renders the row as one JSON object (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(self.fields.len() * 16 + 2);
+        out.push('{');
+        for (i, (key, cell)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_into(&mut out, key);
+            out.push(':');
+            match cell {
+                JsonCell::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                JsonCell::F64(v) if v.is_finite() => {
+                    let _ = write!(out, "{v}");
+                }
+                JsonCell::F64(_) => out.push('0'),
+                JsonCell::Str(s) => escape_into(&mut out, s),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Writes `s` as a quoted JSON string into `out`.
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes rows to `path` as JSONL, creating parent directories. The file
+/// is replaced, not appended: a series is one experiment's output, and
+/// re-running the experiment re-emits it whole.
+///
+/// # Errors
+///
+/// Propagates any I/O failure (directory creation, open, write) with the
+/// path already in the caller's hands for context.
+pub fn write_jsonl<I: IntoIterator<Item = JsonRow>>(path: &Path, rows: I) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    for row in rows {
+        writeln!(out, "{}", row.render())?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_in_insertion_order() {
+        let row = JsonRow::new().str("policy", "chirp").u64("epoch", 3).f64("mpki", 1.5);
+        assert_eq!(row.render(), r#"{"policy":"chirp","epoch":3,"mpki":1.5}"#);
+    }
+
+    #[test]
+    fn escapes_strings_and_zeroes_non_finite_floats() {
+        let row = JsonRow::new().str("name", "a\"b\\c\n").f64("rate", f64::NAN);
+        assert_eq!(row.render(), r#"{"name":"a\"b\\c\n","rate":0}"#);
+    }
+
+    #[test]
+    fn writes_one_object_per_line() {
+        let dir = std::env::temp_dir().join(format!(
+            "chirp-telemetry-jsonl-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = dir.join("nested").join("series.jsonl");
+        let rows = (0..3).map(|i| JsonRow::new().u64("epoch", i));
+        write_jsonl(&path, rows).expect("write jsonl");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec![r#"{"epoch":0}"#, r#"{"epoch":1}"#, r#"{"epoch":2}"#]);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -1,0 +1,452 @@
+//! Metric primitives: sharded counters, gauges with peak tracking, and
+//! fixed-bucket log2 histograms, plus a by-name registry.
+//!
+//! Everything here is lock-free on the record path — a metric update is
+//! one relaxed atomic RMW — so instrumented code can record from any
+//! worker thread without serialising against readers or other writers.
+//! Reads (`value`, `snapshot`) are racy-but-monotonic in the usual
+//! statistics sense: they may miss in-flight updates but never invent
+//! counts.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of shards per [`Counter`]; a power of two so thread slots fold
+/// in with a mask.
+pub const COUNTER_SHARDS: usize = 16;
+
+/// One cache line per shard so two threads incrementing the same counter
+/// never contend on a line.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// Per-thread shard slot, assigned round-robin on first use.
+fn thread_shard() -> usize {
+    use std::cell::Cell;
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|slot| {
+        let mut shard = slot.get();
+        if shard == usize::MAX {
+            static NEXT: AtomicUsize = AtomicUsize::new(0);
+            shard = NEXT.fetch_add(1, Ordering::Relaxed) & (COUNTER_SHARDS - 1);
+            slot.set(shard);
+        }
+        shard
+    })
+}
+
+/// A monotonically increasing counter, sharded across cache lines so
+/// concurrent writers scale.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; COUNTER_SHARDS],
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `n` to the calling thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[thread_shard()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The sum over all shards.
+    pub fn value(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter").field("value", &self.value()).finish()
+    }
+}
+
+/// A signed instantaneous value (queue depth, bytes in flight) that also
+/// remembers its high-water mark.
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    peak: AtomicI64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Adds `delta` (may be negative) and folds the result into the peak.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        let now = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Sets the value outright, folding it into the peak.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+        self.peak.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The highest value ever set or reached.
+    pub fn peak(&self) -> i64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gauge").field("value", &self.value()).field("peak", &self.peak()).finish()
+    }
+}
+
+/// Number of buckets in a [`Log2Histogram`]: one for zero plus one per
+/// bit length of a `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket power-of-two histogram: bucket 0 holds zeros, bucket
+/// `i >= 1` holds values in `[2^(i-1), 2^i)`. Recording is a single
+/// relaxed increment, so it is cheap enough for per-task latencies.
+pub struct Log2Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Log2Histogram {
+        Log2Histogram::default()
+    }
+
+    /// The bucket index `value` falls into.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The smallest value a bucket admits.
+    pub fn bucket_lower_bound(bucket: usize) -> u64 {
+        if bucket == 0 {
+            0
+        } else {
+            1u64 << (bucket - 1)
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Log2Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Log2Histogram").field("snapshot", &self.snapshot()).finish()
+    }
+}
+
+/// An immutable copy of a [`Log2Histogram`]'s buckets, with quantile and
+/// rendering helpers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Raw bucket counts (length [`HISTOGRAM_BUCKETS`], or 0 if default).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Upper bound (exclusive, saturating) of the bucket containing the
+    /// `q`-quantile observation, or 0 for an empty histogram. Quantiles on
+    /// a log2 histogram are bucket-resolution approximations — good enough
+    /// to tell 2ms tasks from 200ms ones, which is all the scheduler
+    /// report needs.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return if bucket >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << bucket)
+                        .saturating_sub(1)
+                        .max(Log2Histogram::bucket_lower_bound(bucket))
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    /// `(lower_bound, count)` for every non-empty bucket.
+    pub fn nonzero(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (Log2Histogram::bucket_lower_bound(b), c))
+            .collect()
+    }
+}
+
+/// A named metric handle held by a [`Registry`].
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A sharded counter.
+    Counter(Arc<Counter>),
+    /// A gauge with peak tracking.
+    Gauge(Arc<Gauge>),
+    /// A log2 histogram.
+    Histogram(Arc<Log2Histogram>),
+}
+
+/// A point-in-time metric reading produced by [`Registry::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter sum.
+    Counter(u64),
+    /// Gauge `(value, peak)`.
+    Gauge(i64, i64),
+    /// Histogram buckets.
+    Histogram(HistogramSnapshot),
+}
+
+/// A by-name metric registry. Registration takes a short lock (cold
+/// path); the returned `Arc` handles record lock-free afterwards.
+/// Registering a name twice returns the existing handle, so independent
+/// components can share a metric by agreeing on its name.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<Vec<(String, Metric)>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, m)) = metrics.iter().find(|(n, _)| n == name) {
+            return m.clone();
+        }
+        let metric = make();
+        metrics.push((name.to_string(), metric.clone()));
+        metric
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Log2Histogram> {
+        match self.get_or_insert(name, || Metric::Histogram(Arc::new(Log2Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Reads every registered metric, in registration order.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        metrics
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.value()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.value(), g.peak()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let counter = Arc::new(Counter::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let counter = Arc::clone(&counter);
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.value(), threads * per_thread, "no increment may be lost");
+    }
+
+    #[test]
+    fn counter_spreads_threads_over_shards() {
+        // Different threads land on (round-robin) different shards, so at
+        // least two shards are non-zero after two threads write.
+        let counter = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| counter.add(5));
+            }
+        });
+        let nonzero = counter.shards.iter().filter(|s| s.0.load(Ordering::Relaxed) > 0).count();
+        assert!(nonzero >= 2, "4 fresh threads must hit >= 2 shards, got {nonzero}");
+        assert_eq!(counter.value(), 20);
+    }
+
+    #[test]
+    fn gauge_tracks_peak_through_dips() {
+        let g = Gauge::new();
+        g.add(3);
+        g.add(4);
+        g.add(-6);
+        assert_eq!(g.value(), 1);
+        assert_eq!(g.peak(), 7);
+        g.set(2);
+        assert_eq!(g.peak(), 7, "set below peak must not lower it");
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(1023), 10);
+        assert_eq!(Log2Histogram::bucket_of(1024), 11);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+        for bucket in 1..HISTOGRAM_BUCKETS {
+            let low = Log2Histogram::bucket_lower_bound(bucket);
+            assert_eq!(Log2Histogram::bucket_of(low), bucket, "lower bound lands in its bucket");
+            assert_eq!(
+                Log2Histogram::bucket_of(low - 1),
+                bucket - 1,
+                "one below the bound lands one bucket down"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_resolution() {
+        let h = Log2Histogram::new();
+        for _ in 0..90 {
+            h.record(3); // bucket 2: [2, 4)
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket 10: [512, 1024)
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.total(), 100);
+        assert_eq!(snap.quantile(0.5), 3, "p50 sits in the [2, 4) bucket");
+        assert_eq!(snap.quantile(0.99), 1023, "p99 sits in the [512, 1024) bucket");
+        assert_eq!(snap.nonzero(), vec![(2, 90), (512, 10)]);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_shares_handles_by_name() {
+        let registry = Registry::new();
+        registry.counter("evictions").add(2);
+        registry.counter("evictions").add(3);
+        registry.gauge("queue").set(9);
+        registry.histogram("latency").record(100);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.len(), 3);
+        assert_eq!(snapshot[0].1, MetricValue::Counter(5));
+        assert_eq!(snapshot[1].1, MetricValue::Gauge(9, 9));
+        match &snapshot[2].1 {
+            MetricValue::Histogram(h) => assert_eq!(h.total(), 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_rejects_kind_mismatch() {
+        let registry = Registry::new();
+        registry.counter("x");
+        registry.gauge("x");
+    }
+}

@@ -40,7 +40,7 @@ pub mod walker;
 
 pub use hierarchy::{TlbHierarchy, TlbHierarchyConfig, Translation};
 pub use policy::{PolicyStorage, TlbReplacementPolicy};
-pub use stats::TlbStats;
+pub use stats::{DeadOutcomes, TlbStats};
 pub use tlb::{AccessOutcome, L2Tlb};
 pub use types::{TlbAccess, TlbGeometry, TranslationKind};
 pub use walker::PageWalker;

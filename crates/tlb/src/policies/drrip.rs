@@ -115,6 +115,11 @@ impl TlbReplacementPolicy for Drrip {
         };
     }
 
+    fn predicts_dead(&self, set: usize, way: usize) -> Option<bool> {
+        // A distant re-reference prediction is RRIP's notion of "dead".
+        Some(self.rrpv[self.idx(set, way)] == RRPV_MAX)
+    }
+
     fn storage(&self) -> PolicyStorage {
         PolicyStorage {
             metadata_bits: 2 * self.geometry.entries as u64,

@@ -184,6 +184,10 @@ impl TlbReplacementPolicy for Ghrp {
         self.dead_evictions
     }
 
+    fn predicts_dead(&self, set: usize, way: usize) -> Option<bool> {
+        Some(self.meta[self.idx(set, way)].dead)
+    }
+
     fn storage(&self) -> PolicyStorage {
         let lru_bits = (self.geometry.ways as f64).log2().ceil() as u64;
         PolicyStorage {

@@ -157,6 +157,11 @@ impl TlbReplacementPolicy for ShipTlb {
         self.table_accesses
     }
 
+    fn predicts_dead(&self, set: usize, way: usize) -> Option<bool> {
+        // A distant re-reference prediction is RRIP's notion of "dead".
+        Some(self.meta[self.idx(set, way)].rrpv == RRPV_MAX)
+    }
+
     fn storage(&self) -> PolicyStorage {
         let per_entry = u64::from(self.config.shct_bits) + 1 + 2; // sig + reused + rrpv
         PolicyStorage {

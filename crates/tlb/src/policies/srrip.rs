@@ -62,6 +62,11 @@ impl TlbReplacementPolicy for Srrip {
         self.rrpv[i] = RRPV_LONG;
     }
 
+    fn predicts_dead(&self, set: usize, way: usize) -> Option<bool> {
+        // A distant re-reference prediction is RRIP's notion of "dead".
+        Some(self.rrpv[self.idx(set, way)] == RRPV_MAX)
+    }
+
     fn storage(&self) -> PolicyStorage {
         PolicyStorage {
             metadata_bits: u64::from(RRPV_BITS) * self.geometry.entries as u64,

@@ -88,6 +88,21 @@ pub trait TlbReplacementPolicy {
         0
     }
 
+    /// The policy's *current* reuse prediction for the entry in
+    /// (`set`, `way`): `Some(true)` if it considers the entry dead,
+    /// `Some(false)` if live, `None` for policies that keep no explicit
+    /// prediction (LRU, Random, OPT).
+    ///
+    /// This is a read-only telemetry probe — implementations must not
+    /// touch prediction tables or counters (in particular it must not
+    /// count towards [`Self::prediction_table_accesses`]), so querying
+    /// it cannot perturb
+    /// simulation results. RRIP-family policies map a distant re-reference
+    /// prediction (RRPV = max) to "dead".
+    fn predicts_dead(&self, _set: usize, _way: usize) -> Option<bool> {
+        None
+    }
+
     /// Storage overhead breakdown (Table I / §VI-H).
     fn storage(&self) -> PolicyStorage;
 

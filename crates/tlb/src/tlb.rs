@@ -2,9 +2,56 @@
 
 use crate::efficiency::EfficiencyTracker;
 use crate::policy::TlbReplacementPolicy;
-use crate::stats::TlbStats;
+use crate::stats::{DeadOutcomes, TlbStats};
 use crate::types::{TlbAccess, TlbGeometry, TranslationKind};
 use chirp_trace::BranchClass;
+
+/// Telemetry scoreboard for dead-prediction outcomes: remembers, per
+/// entry, the policy's fill-time dead/live prediction and whether the
+/// entry has been hit since, and scores the pair when the entry is
+/// evicted (see [`DeadOutcomes`]).
+///
+/// Purely observational: it queries the policy through the read-only
+/// [`TlbReplacementPolicy::predicts_dead`] probe and keeps its own shadow
+/// state, so enabling it cannot change hit/miss behaviour, victim choice
+/// or any policy counter.
+#[derive(Debug, Clone)]
+struct OutcomeScoreboard {
+    /// Fill-time prediction per (set, way); `None` for unpredicted fills.
+    predicted_dead: Vec<Option<bool>>,
+    /// Whether the entry was hit since its fill.
+    hit_since_fill: Vec<bool>,
+    outcomes: DeadOutcomes,
+}
+
+impl OutcomeScoreboard {
+    fn new(entries: usize) -> OutcomeScoreboard {
+        OutcomeScoreboard {
+            predicted_dead: vec![None; entries],
+            hit_since_fill: vec![false; entries],
+            outcomes: DeadOutcomes::default(),
+        }
+    }
+
+    fn on_fill(&mut self, idx: usize, prediction: Option<bool>) {
+        self.predicted_dead[idx] = prediction;
+        self.hit_since_fill[idx] = false;
+    }
+
+    fn on_hit(&mut self, idx: usize) {
+        self.hit_since_fill[idx] = true;
+    }
+
+    fn on_evict(&mut self, idx: usize) {
+        let Some(dead) = self.predicted_dead[idx] else { return };
+        match (dead, self.hit_since_fill[idx]) {
+            (true, false) => self.outcomes.true_dead += 1,
+            (true, true) => self.outcomes.false_dead += 1,
+            (false, true) => self.outcomes.true_live += 1,
+            (false, false) => self.outcomes.false_live += 1,
+        }
+    }
+}
 
 /// Result of one L2 TLB access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +74,9 @@ pub struct L2Tlb {
     policy: Box<dyn TlbReplacementPolicy>,
     stats: TlbStats,
     efficiency: EfficiencyTracker,
+    /// Dead-prediction outcome tracking; `None` (the default) keeps the
+    /// access path free of telemetry work.
+    scoreboard: Option<OutcomeScoreboard>,
 }
 
 impl std::fmt::Debug for L2Tlb {
@@ -50,7 +100,30 @@ impl L2Tlb {
             policy,
             stats: TlbStats::default(),
             efficiency: EfficiencyTracker::new(sets, geometry.ways),
+            scoreboard: None,
         }
+    }
+
+    /// Turns on dead-prediction outcome scoring (telemetry). Observational
+    /// only: the policy is queried through the read-only
+    /// [`TlbReplacementPolicy::predicts_dead`] probe, so hit/miss
+    /// behaviour and every policy counter stay bit-identical.
+    pub fn enable_outcome_tracking(&mut self) {
+        if self.scoreboard.is_none() {
+            self.scoreboard = Some(OutcomeScoreboard::new(self.geometry.entries));
+        }
+    }
+
+    /// Scored fill-time dead/live predictions so far; all-zero unless
+    /// [`enable_outcome_tracking`](Self::enable_outcome_tracking) ran.
+    pub fn dead_outcomes(&self) -> DeadOutcomes {
+        self.scoreboard.as_ref().map(|s| s.outcomes).unwrap_or_default()
+    }
+
+    /// Fraction of ways currently holding a valid translation.
+    pub fn occupancy(&self) -> f64 {
+        let valid = self.valid.iter().filter(|&&v| v).count();
+        valid as f64 / self.valid.len() as f64
     }
 
     /// The TLB geometry.
@@ -72,6 +145,9 @@ impl L2Tlb {
                 self.stats.hits += 1;
                 self.efficiency.on_hit(set, way);
                 self.policy.on_hit(&acc, way);
+                if let Some(sb) = &mut self.scoreboard {
+                    sb.on_hit(base + way);
+                }
                 return AccessOutcome { hit: true, way, evicted: None };
             }
         }
@@ -87,6 +163,9 @@ impl L2Tlb {
                 let victim = self.policy.choose_victim(&acc);
                 assert!(victim < ways, "policy returned way {victim} of {ways}");
                 let old = self.tags[base + victim];
+                if let Some(sb) = &mut self.scoreboard {
+                    sb.on_evict(base + victim);
+                }
                 self.policy.on_evict(set, victim);
                 (victim, Some(old))
             }
@@ -95,6 +174,14 @@ impl L2Tlb {
         self.valid[base + way] = true;
         self.efficiency.on_insert(set, way);
         self.policy.on_fill(&acc, way);
+        if self.scoreboard.is_some() {
+            // Query after `on_fill` so the prediction reflects the state
+            // the policy just installed for the incoming entry.
+            let prediction = self.policy.predicts_dead(set, way);
+            if let Some(sb) = &mut self.scoreboard {
+                sb.on_fill(base + way, prediction);
+            }
+        }
         AccessOutcome { hit: false, way, evicted }
     }
 
@@ -173,6 +260,78 @@ mod tests {
         tlb.access(0, 1, TranslationKind::Instruction);
         tlb.access(0, 5, TranslationKind::Instruction);
         assert_eq!(tlb.stats().cold_fills, 2);
+    }
+
+    /// A test policy that predicts every fill dead, so outcome scoring is
+    /// fully exercised by plain LRU-shaped traffic.
+    struct AlwaysDead {
+        inner: Lru,
+    }
+
+    impl TlbReplacementPolicy for AlwaysDead {
+        fn name(&self) -> &str {
+            "always-dead"
+        }
+        fn choose_victim(&mut self, acc: &TlbAccess) -> usize {
+            self.inner.choose_victim(acc)
+        }
+        fn on_hit(&mut self, acc: &TlbAccess, way: usize) {
+            self.inner.on_hit(acc, way);
+        }
+        fn on_fill(&mut self, acc: &TlbAccess, way: usize) {
+            self.inner.on_fill(acc, way);
+        }
+        fn predicts_dead(&self, _set: usize, _way: usize) -> Option<bool> {
+            Some(true)
+        }
+        fn storage(&self) -> crate::policy::PolicyStorage {
+            self.inner.storage()
+        }
+    }
+
+    #[test]
+    fn outcome_tracking_scores_fill_predictions_at_eviction() {
+        let geom = TlbGeometry { entries: 8, ways: 2 };
+        let mut tlb = L2Tlb::new(geom, Box::new(AlwaysDead { inner: Lru::new(geom) }));
+        tlb.enable_outcome_tracking();
+        // Set 2: fill vpns 2 and 6, hit 2, then evict both via 10 and 14.
+        tlb.access(0, 2, TranslationKind::Data);
+        tlb.access(0, 6, TranslationKind::Data);
+        tlb.access(0, 2, TranslationKind::Data); // hit: entry 2 proved live
+        tlb.access(0, 10, TranslationKind::Data); // evicts 6 (LRU): never hit
+        tlb.access(0, 14, TranslationKind::Data); // evicts 2: was hit
+        let o = tlb.dead_outcomes();
+        assert_eq!(o.true_dead, 1, "vpn 6 predicted dead, never hit");
+        assert_eq!(o.false_dead, 1, "vpn 2 predicted dead but was hit");
+        assert_eq!(o.true_live + o.false_live, 0, "this policy never predicts live");
+    }
+
+    #[test]
+    fn outcome_tracking_defaults_off_and_unpredictive_policies_score_nothing() {
+        let mut tlb = tiny();
+        tlb.access(0, 2, TranslationKind::Data);
+        tlb.access(0, 6, TranslationKind::Data);
+        tlb.access(0, 10, TranslationKind::Data); // eviction, tracking off
+        assert_eq!(tlb.dead_outcomes(), crate::stats::DeadOutcomes::default());
+        let mut tracked = tiny();
+        tracked.enable_outcome_tracking();
+        tracked.access(0, 2, TranslationKind::Data);
+        tracked.access(0, 6, TranslationKind::Data);
+        tracked.access(0, 10, TranslationKind::Data);
+        assert_eq!(
+            tracked.dead_outcomes().total(),
+            0,
+            "LRU has no predictions, so nothing is scored"
+        );
+    }
+
+    #[test]
+    fn occupancy_rises_with_fills() {
+        let mut tlb = tiny();
+        assert_eq!(tlb.occupancy(), 0.0);
+        tlb.access(0, 0, TranslationKind::Data);
+        tlb.access(0, 1, TranslationKind::Data);
+        assert!((tlb.occupancy() - 0.25).abs() < 1e-12, "2 of 8 ways valid");
     }
 
     #[test]

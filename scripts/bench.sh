@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Suite-runner performance benchmark: packed-trace scheduler vs the flat
-# benchwise baseline, 1 vs 8 threads, 4 benchmarks x 9 policies.
+# benchwise baseline, 1 vs 8 threads, 4 benchmarks x 9 policies, plus an
+# epoch-telemetry variant guarding instrumentation overhead
+# (telemetry_overhead_8t in the trajectory line).
 #
 #   scripts/bench.sh            run and append to BENCH_runner.json
 #   CHIRP_BENCH_OUT=out.json scripts/bench.sh     write elsewhere

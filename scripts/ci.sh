@@ -23,7 +23,21 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> cargo doc (no deps, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run
+
+echo "==> telemetry smoke (tiny epoch run + report round-trip)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release -q -p chirp-bench --bin run_all -- \
+    --benchmarks 2 --instructions 20_000 --threads 2 \
+    --telemetry epochs --epoch-instructions 5_000 \
+    --telemetry-out "$smoke_dir" > "$smoke_dir/run_all.out"
+test -s "$smoke_dir/telemetry_epochs.jsonl"
+cargo run --release -q -p chirp-bench --bin telemetry_report -- \
+    --input "$smoke_dir/telemetry_epochs.jsonl" | grep -q "Per-policy rollup"
 
 echo "ci: all checks passed"
