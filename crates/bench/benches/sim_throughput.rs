@@ -1,0 +1,138 @@
+//! Single-thread simulation throughput: the monomorphized columnar hot
+//! loop (`Simulator::with_policy` over `PolicyDispatch` +
+//! `run_columnar`) against the legacy dynamic-dispatch per-record path
+//! (`Simulator::new` over `Box<dyn TlbReplacementPolicy>` + `run`), per
+//! policy, in instructions per second.
+//!
+//! Besides the Criterion lines, appends one JSON object to
+//! `BENCH_runner.json` at the workspace root (override with
+//! `CHIRP_BENCH_OUT`) carrying `instr_per_sec_1t` — the headline
+//! single-thread throughput of the new path over the whole suite — plus
+//! the legacy path's `instr_per_sec_1t_dyn` and the derived
+//! `columnar_speedup`. `scripts/bench.sh` compares `instr_per_sec_1t`
+//! against the previous line and warns on >10% regressions.
+
+use chirp_bench::{lineup9, policy_label};
+use chirp_sim::{PolicyKind, SimConfig, Simulator};
+use chirp_trace::suite::{build_suite, BenchmarkSpec, SuiteConfig};
+use chirp_trace::PackedTrace;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const BENCHMARKS: usize = 4;
+const INSTRUCTIONS: usize = 60_000;
+
+fn run_legacy(config: &SimConfig, policy: &PolicyKind, trace: &PackedTrace, seed: u64) -> u64 {
+    let mut sim = Simulator::new(config, policy.build(config.tlb.l2, seed));
+    sim.run(trace, config.warmup_fraction).instructions
+}
+
+fn run_columnar(config: &SimConfig, policy: &PolicyKind, trace: &PackedTrace, seed: u64) -> u64 {
+    let mut sim = Simulator::with_policy(config, policy.build_dispatch(config.tlb.l2, seed));
+    sim.run_columnar(trace, config.warmup_fraction).instructions
+}
+
+/// Instructions per second over the whole (benchmark × policy) matrix,
+/// best of `reps` sweeps so a scheduler hiccup cannot sink the number.
+fn matrix_instr_per_sec(
+    suite: &[(BenchmarkSpec, PackedTrace)],
+    policies: &[PolicyKind],
+    config: &SimConfig,
+    columnar: bool,
+    reps: usize,
+) -> f64 {
+    let total: u64 = (suite.len() * policies.len()) as u64 * INSTRUCTIONS as u64;
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for (bench, trace) in suite {
+            for policy in policies {
+                if columnar {
+                    run_columnar(config, policy, trace, bench.seed);
+                } else {
+                    run_legacy(config, policy, trace, bench.seed);
+                }
+            }
+        }
+        best = best.max(total as f64 / t0.elapsed().as_secs_f64().max(1e-9));
+    }
+    best
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let config = SimConfig::default();
+    let policies = lineup9();
+    let suite: Vec<(BenchmarkSpec, PackedTrace)> =
+        build_suite(&SuiteConfig { benchmarks: BENCHMARKS })
+            .into_iter()
+            .map(|b| {
+                let trace = b.generate_packed(INSTRUCTIONS);
+                (b, trace)
+            })
+            .collect();
+
+    // Per-policy Criterion lines on the first benchmark's trace: columnar
+    // (the shipping path) and the legacy dyn path side by side.
+    let (bench0, trace0) = &suite[0];
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace0.len() as u64));
+    for policy in &policies {
+        let label = policy_label(policy);
+        group.bench_function(&format!("columnar/{label}"), |b| {
+            b.iter_batched(
+                || {
+                    Simulator::with_policy(
+                        &config,
+                        policy.build_dispatch(config.tlb.l2, bench0.seed),
+                    )
+                },
+                |mut sim| sim.run_columnar(trace0, config.warmup_fraction),
+                BatchSize::LargeInput,
+            );
+        });
+        group.bench_function(&format!("dyn/{label}"), |b| {
+            b.iter_batched(
+                || Simulator::new(&config, policy.build(config.tlb.l2, bench0.seed)),
+                |mut sim| sim.run(trace0, config.warmup_fraction),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+
+    // Headline numbers for the trajectory file: whole-matrix throughput.
+    let instr_per_sec_1t = matrix_instr_per_sec(&suite, &policies, &config, true, 3);
+    let instr_per_sec_1t_dyn = matrix_instr_per_sec(&suite, &policies, &config, false, 3);
+    let columnar_speedup = instr_per_sec_1t / instr_per_sec_1t_dyn.max(1e-9);
+    println!(
+        "sim_throughput: columnar {:.0} instr/s vs dyn {:.0} instr/s ({columnar_speedup:.2}x)",
+        instr_per_sec_1t, instr_per_sec_1t_dyn
+    );
+    write_trajectory(instr_per_sec_1t, instr_per_sec_1t_dyn, columnar_speedup);
+}
+
+fn write_trajectory(instr_per_sec_1t: f64, instr_per_sec_1t_dyn: f64, columnar_speedup: f64) {
+    let line = format!(
+        "{{\"bench\":\"sim_throughput\",\"benchmarks\":{BENCHMARKS},\"policies\":9,\
+         \"instructions\":{INSTRUCTIONS},\"instr_per_sec_1t\":{instr_per_sec_1t:.0},\
+         \"instr_per_sec_1t_dyn\":{instr_per_sec_1t_dyn:.0},\
+         \"columnar_speedup\":{columnar_speedup:.3}}}"
+    );
+    let path = std::env::var_os("CHIRP_BENCH_OUT").map(PathBuf::from).unwrap_or_else(|| {
+        // crates/bench/Cargo.toml -> workspace root is two levels up.
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_runner.json")
+    });
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .expect("open BENCH_runner.json");
+    writeln!(f, "{line}").expect("append BENCH_runner.json");
+    println!("appended sim_throughput trajectory to {}", path.display());
+}
+
+criterion_group!(benches, bench_sim_throughput);
+criterion_main!(benches);

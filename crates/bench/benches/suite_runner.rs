@@ -12,10 +12,10 @@
 //! the analytic peak — `min(threads, benchmarks)` flat 40-byte-per-record
 //! traces resident at once, which the benchwise design guarantees.
 
-use chirp_core::ChirpConfig;
+use chirp_bench::lineup9;
 use chirp_sim::baseline::run_suite_benchwise;
 use chirp_sim::{
-    last_scheduler_summary, run_suite, run_suite_telemetry, PolicyKind, RunnerConfig, TelemetrySpec,
+    last_scheduler_summary, run_suite, run_suite_telemetry, RunnerConfig, TelemetrySpec,
 };
 use chirp_telemetry::TelemetryMode;
 use chirp_trace::suite::{build_suite, BenchmarkSpec, SuiteConfig};
@@ -28,16 +28,6 @@ use std::time::Instant;
 const BENCHMARKS: usize = 4;
 const INSTRUCTIONS: usize = 60_000;
 const THREADS_HIGH: usize = 8;
-
-/// The 9-policy lineup: the paper's six plus the extension baselines and
-/// a short-history CHiRP variant.
-fn lineup9() -> Vec<PolicyKind> {
-    let mut policies = PolicyKind::paper_lineup();
-    policies.push(PolicyKind::Drrip);
-    policies.push(PolicyKind::PerceptronReuse);
-    policies.push(PolicyKind::Chirp(ChirpConfig { path_length: 8, ..ChirpConfig::default() }));
-    policies
-}
 
 fn config(threads: usize) -> RunnerConfig {
     RunnerConfig { instructions: INSTRUCTIONS, threads, ..Default::default() }
@@ -145,6 +135,16 @@ fn write_trajectory(measured: &[Measured]) {
     let mem_ratio = sched_8t.peak_trace_bytes as f64 / base_8t.peak_trace_bytes.max(1) as f64;
     let telemetry_overhead_8t = telemetry_8t.median_secs / sched_8t.median_secs.max(1e-9);
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // On a single logical CPU an 8-thread run cannot beat 1-thread wall
+    // clock, so flag the speedup number as not meaningful rather than
+    // letting a ~1.0 ratio read as a regression.
+    let scaling_expected = cpus > 1;
+    if !scaling_expected {
+        println!(
+            "note: {cpus} cpu available — speedup_8t {speedup_8t:.3} reflects scheduling \
+             overhead, not thread scaling (thread_scaling_expected=false)"
+        );
+    }
 
     let fields: Vec<String> = measured
         .iter()
@@ -157,7 +157,8 @@ fn write_trajectory(measured: &[Measured]) {
         .collect();
     let line = format!(
         "{{\"bench\":\"suite_runner\",\"benchmarks\":{BENCHMARKS},\"policies\":9,\
-         \"instructions\":{INSTRUCTIONS},\"cpus\":{cpus},{},\
+         \"instructions\":{INSTRUCTIONS},\"cpus\":{cpus},\
+         \"thread_scaling_expected\":{scaling_expected},{},\
          \"speedup_8t\":{speedup_8t:.3},\"peak_mem_ratio_8t\":{mem_ratio:.4},\
          \"telemetry_overhead_8t\":{telemetry_overhead_8t:.3}}}",
         fields.join(",")

@@ -1,0 +1,86 @@
+//! Scratch profiler for the per-instruction loop (not shipped in reports).
+
+use chirp_branch::{BranchConfig, BranchUnit};
+use chirp_mem::{HierarchyConfig, MemoryHierarchy};
+use chirp_sim::{PolicyKind, SimConfig, Simulator};
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use chirp_trace::TraceSource;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let suite = build_suite(&SuiteConfig { benchmarks: 4 });
+    let config = SimConfig::default();
+    let n = 60_000usize;
+    for bench in &suite {
+        let trace = bench.generate_packed(n);
+        let records: Vec<_> = trace.records().collect();
+
+        // Mix.
+        let mem = records.iter().filter(|r| r.kind.is_memory()).count();
+        let br = records.iter().filter(|r| r.kind.branch_class().is_some()).count();
+
+        // Full run.
+        let t0 = Instant::now();
+        let mut sim = Simulator::with_policy(
+            &config,
+            PolicyKind::Lru.build_dispatch(config.tlb.l2, bench.seed),
+        );
+        black_box(sim.run_columnar(&trace, 0.5));
+        let full = t0.elapsed();
+
+        // Iteration only.
+        let t0 = Instant::now();
+        let mut acc = 0u64;
+        for chunk in trace.chunks(4096) {
+            for rec in chunk.records() {
+                acc = acc.wrapping_add(rec.pc ^ rec.effective_address ^ rec.target);
+            }
+        }
+        black_box(acc);
+        let iter_only = t0.elapsed();
+
+        // Branch unit only.
+        let t0 = Instant::now();
+        let mut bu = BranchUnit::new(BranchConfig::default());
+        let mut acc = 0u64;
+        for rec in &records {
+            acc += bu.observe(rec);
+        }
+        black_box(acc);
+        let branch_only = t0.elapsed();
+
+        // Memory hierarchy only (fetch + data).
+        let t0 = Instant::now();
+        let mut mh = MemoryHierarchy::new(HierarchyConfig::default());
+        let mut acc = 0u64;
+        for rec in &records {
+            acc += mh.fetch(rec.pc);
+            if rec.kind.is_memory() {
+                acc += mh.load(rec.effective_address);
+            }
+        }
+        black_box(acc);
+        let mem_only = t0.elapsed();
+
+        let (l1i, l1d, l2, l3) = mh.stats();
+        println!(
+            "    miss l1i {:.3} l1d {:.3} l2 {:.3} l3 {:.3} dram {}",
+            l1i.miss_ratio(),
+            l1d.miss_ratio(),
+            l2.miss_ratio(),
+            l3.miss_ratio(),
+            mh.dram_accesses()
+        );
+        println!(
+            "{:>28}: full {:>7.1?} iter {:>6.1?} branch {:>6.1?} mem {:>7.1?} | mem% {:.0} br% {:.0}",
+            bench.name,
+            full,
+            iter_only,
+            branch_only,
+            mem_only,
+            mem as f64 / n as f64 * 100.0,
+            br as f64 / n as f64 * 100.0,
+        );
+    }
+}

@@ -1,20 +1,18 @@
 //! Extension: compare the paper's lineup against the extra baselines this
-//! repository implements (DRRIP, perceptron reuse prediction).
-//! Writes `results/ext_baselines.csv`.
+//! repository implements (DRRIP, perceptron reuse prediction, and a
+//! short-history CHiRP variant). Writes `results/ext_baselines.csv`.
 
-use chirp_bench::HarnessArgs;
+use chirp_bench::{lineup9, policy_label, HarnessArgs};
 use chirp_sim::report::Table;
+use chirp_sim::run_suite;
 use chirp_sim::runner::group_by_benchmark;
-use chirp_sim::{run_suite, PolicyKind};
 use chirp_trace::suite::{build_suite, SuiteConfig};
 use std::path::Path;
 
 fn main() {
     let args = HarnessArgs::from_env();
     let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
-    let mut policies = PolicyKind::paper_lineup();
-    policies.push(PolicyKind::Drrip);
-    policies.push(PolicyKind::PerceptronReuse);
+    let policies = lineup9();
     let config = args.runner_config();
     let runs = run_suite(&suite, &policies, &config);
     let grouped = group_by_benchmark(&runs, policies.len());
@@ -34,13 +32,13 @@ fn main() {
         let m = sums[i] / n;
         let storage = kind.build(config.sim.tlb.l2, 0).storage().total_bytes();
         table.row([
-            kind.name().to_string(),
+            policy_label(kind),
             format!("{m:.3}"),
             format!("{:+.2}%", (lru - m) / lru * 100.0),
             format!("{storage}"),
         ]);
         csv.row([
-            kind.name().to_string(),
+            policy_label(kind),
             format!("{m:.6}"),
             format!("{:.6}", (lru - m) / lru),
             format!("{storage}"),

@@ -20,9 +20,38 @@
 //!                     (default results/telemetry)
 //! ```
 
-use chirp_sim::{RunnerConfig, TelemetrySpec};
+use chirp_core::ChirpConfig;
+use chirp_sim::{PolicyKind, RunnerConfig, TelemetrySpec};
 use chirp_telemetry::TelemetryMode;
 use std::path::PathBuf;
+
+/// The 9-policy extended lineup: the paper's six
+/// ([`PolicyKind::paper_lineup`]) plus the extension baselines this
+/// repository adds — DRRIP, perceptron reuse prediction and a
+/// short-history (8-entry path) CHiRP variant. The single definition
+/// shared by the harness binaries and Criterion benches, so every
+/// "extended lineup" table and trajectory line means the same nine
+/// policies.
+pub fn lineup9() -> Vec<PolicyKind> {
+    let mut policies = PolicyKind::paper_lineup();
+    policies.push(PolicyKind::Drrip);
+    policies.push(PolicyKind::PerceptronReuse);
+    policies.push(PolicyKind::Chirp(ChirpConfig { path_length: 8, ..ChirpConfig::default() }));
+    policies
+}
+
+/// Display label for a policy in report tables. Same as
+/// [`PolicyKind::name`] except that non-default CHiRP configurations get
+/// their path length appended (`chirp-p8`), so the two CHiRP variants in
+/// [`lineup9`] stay distinguishable in output rows.
+pub fn policy_label(kind: &PolicyKind) -> String {
+    match kind {
+        PolicyKind::Chirp(c) if *c != ChirpConfig::default() => {
+            format!("chirp-p{}", c.path_length)
+        }
+        _ => kind.name().to_string(),
+    }
+}
 
 /// Parsed harness arguments.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -201,6 +230,20 @@ mod tests {
 
     fn parse(args: &[&str]) -> Result<HarnessArgs, String> {
         HarnessArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn lineup9_is_paper_six_plus_extensions() {
+        let lineup = lineup9();
+        assert_eq!(lineup.len(), 9);
+        let names: Vec<&str> = lineup.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            ["lru", "random", "srrip", "ship", "ghrp", "chirp", "drrip", "perceptron", "chirp"]
+        );
+        let labels: Vec<String> = lineup.iter().map(policy_label).collect();
+        assert_eq!(labels[5], "chirp");
+        assert_eq!(labels[8], "chirp-p8", "short-history variant gets a distinct label");
     }
 
     #[test]

@@ -4,5 +4,5 @@
 pub mod cli;
 pub mod telemetry_view;
 
-pub use cli::{exit_on_err, print_scheduler_summary, HarnessArgs};
+pub use cli::{exit_on_err, lineup9, policy_label, print_scheduler_summary, HarnessArgs};
 pub use telemetry_view::{render_phase_summary, render_policy_rollup};

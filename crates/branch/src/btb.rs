@@ -1,30 +1,20 @@
 //! Branch target buffer: a set-associative cache of branch targets.
 
-use chirp_mem::LruStack;
+use chirp_mem::PackedLru;
 
+/// A set-associative BTB (paper Table II: 4K entries).
+///
+/// Tags, targets, valid bits and LRU ages are flat row-major arrays — one
+/// allocation each — so the per-branch lookup/update path stays free of
+/// per-set pointer chasing.
 #[derive(Debug, Clone)]
-struct BtbSet {
+pub struct Btb {
+    ways: usize,
+    /// `sets * ways` branch tags, flattened row-major by set.
     tags: Vec<u64>,
     targets: Vec<u64>,
     valid: Vec<bool>,
-    lru: LruStack,
-}
-
-impl BtbSet {
-    fn new(ways: usize) -> Self {
-        BtbSet {
-            tags: vec![0; ways],
-            targets: vec![0; ways],
-            valid: vec![false; ways],
-            lru: LruStack::new(ways),
-        }
-    }
-}
-
-/// A set-associative BTB (paper Table II: 4K entries).
-#[derive(Debug, Clone)]
-pub struct Btb {
-    sets: Vec<BtbSet>,
+    lru: PackedLru,
     set_mask: u64,
 }
 
@@ -44,7 +34,14 @@ impl Btb {
         assert!(ways > 0 && entries.is_multiple_of(ways), "entries must divide into ways");
         let sets = entries / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        Btb { sets: (0..sets).map(|_| BtbSet::new(ways)).collect(), set_mask: sets as u64 - 1 }
+        Btb {
+            ways,
+            tags: vec![0; entries],
+            targets: vec![0; entries],
+            valid: vec![false; entries],
+            lru: PackedLru::new(sets, ways),
+            set_mask: sets as u64 - 1,
+        }
     }
 
     #[inline]
@@ -55,34 +52,38 @@ impl Btb {
     }
 
     /// Looks up the predicted target for the branch at `pc`.
+    #[inline]
     pub fn lookup(&mut self, pc: u64) -> Option<u64> {
         let (set_idx, tag) = self.set_and_tag(pc);
-        let set = &mut self.sets[set_idx];
-        for way in 0..set.tags.len() {
-            if set.valid[way] && set.tags[way] == tag {
-                set.lru.touch(way);
-                return Some(set.targets[way]);
+        let base = set_idx * self.ways;
+        for way in 0..self.ways {
+            if self.valid[base + way] && self.tags[base + way] == tag {
+                self.lru.touch(set_idx, way);
+                return Some(self.targets[base + way]);
             }
         }
         None
     }
 
     /// Installs or updates the target for the branch at `pc`.
+    #[inline]
     pub fn update(&mut self, pc: u64, target: u64) {
         let (set_idx, tag) = self.set_and_tag(pc);
-        let set = &mut self.sets[set_idx];
-        for way in 0..set.tags.len() {
-            if set.valid[way] && set.tags[way] == tag {
-                set.targets[way] = target;
-                set.lru.touch(way);
+        let base = set_idx * self.ways;
+        for way in 0..self.ways {
+            if self.valid[base + way] && self.tags[base + way] == tag {
+                self.targets[base + way] = target;
+                self.lru.touch(set_idx, way);
                 return;
             }
         }
-        let victim = (0..set.tags.len()).find(|&w| !set.valid[w]).unwrap_or_else(|| set.lru.lru());
-        set.tags[victim] = tag;
-        set.targets[victim] = target;
-        set.valid[victim] = true;
-        set.lru.touch(victim);
+        let victim = (0..self.ways)
+            .find(|&w| !self.valid[base + w])
+            .unwrap_or_else(|| self.lru.lru(set_idx));
+        self.tags[base + victim] = tag;
+        self.targets[base + victim] = target;
+        self.valid[base + victim] = true;
+        self.lru.touch(set_idx, victim);
     }
 }
 

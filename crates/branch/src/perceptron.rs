@@ -7,10 +7,18 @@
 //! sign of the summed weights, and training nudges each selected weight
 //! towards the outcome when the prediction was wrong or under-confident.
 
+/// Upper bound on the table count, so `update` can stage the selected
+/// indices on the stack instead of hashing every table twice (once for
+/// the prediction sum, again for training).
+const MAX_TABLES: usize = 64;
+
 /// Hashed perceptron predictor.
 #[derive(Debug, Clone)]
 pub struct HashedPerceptron {
-    tables: Vec<Vec<i8>>,
+    /// All weight tables in one flat array; table `t` occupies
+    /// `t << table_bits .. (t + 1) << table_bits`.
+    weights: Vec<i8>,
+    tables: usize,
     table_bits: u32,
     history: u64,
     theta: i32,
@@ -30,13 +38,15 @@ impl HashedPerceptron {
     ///
     /// # Panics
     ///
-    /// Panics if `tables == 0` or `table_bits == 0`.
+    /// Panics if `tables` is 0 or above 64, or `table_bits == 0`.
     pub fn new(tables: usize, table_bits: u32) -> Self {
         assert!(tables > 0 && table_bits > 0, "degenerate perceptron geometry");
+        assert!(tables <= MAX_TABLES, "at most {MAX_TABLES} tables supported");
         // Classic theta ≈ 1.93 * h + 14 with h = number of tables.
         let theta = (1.93 * tables as f64 + 14.0) as i32;
         HashedPerceptron {
-            tables: vec![vec![0i8; 1 << table_bits]; tables],
+            weights: vec![0i8; tables << table_bits],
+            tables,
             table_bits,
             history: 0,
             theta,
@@ -44,6 +54,8 @@ impl HashedPerceptron {
         }
     }
 
+    /// Flat index of the weight table `table` selects for `pc`.
+    #[inline]
     fn index(&self, table: usize, pc: u64) -> usize {
         let seg = if table == 0 {
             0 // bias table: PC only
@@ -52,7 +64,7 @@ impl HashedPerceptron {
             (self.history >> shift) & ((1 << self.seg_bits) - 1)
         };
         let mixed = (pc >> 2) ^ (seg.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ (table as u64) << 7;
-        (mixed & ((1 << self.table_bits) - 1)) as usize
+        (mixed & ((1 << self.table_bits) - 1)) as usize | table << self.table_bits
     }
 
     /// Predicts the direction of the conditional branch at `pc`.
@@ -61,18 +73,26 @@ impl HashedPerceptron {
     }
 
     fn sum(&self, pc: u64) -> i32 {
-        (0..self.tables.len()).map(|t| i32::from(self.tables[t][self.index(t, pc)])).sum()
+        (0..self.tables).map(|t| i32::from(self.weights[self.index(t, pc)])).sum()
     }
 
     /// Trains on the actual outcome and shifts the global history.
     /// Returns the prediction that was made (for accounting).
+    #[inline]
     pub fn update(&mut self, pc: u64, taken: bool) -> bool {
-        let sum = self.sum(pc);
+        // Hash each table once, keeping the selected indices for the
+        // training pass instead of rehashing.
+        let mut selected = [0usize; MAX_TABLES];
+        let mut sum = 0i32;
+        for (t, slot) in selected.iter_mut().enumerate().take(self.tables) {
+            let idx = self.index(t, pc);
+            *slot = idx;
+            sum += i32::from(self.weights[idx]);
+        }
         let prediction = sum >= 0;
         if prediction != taken || sum.abs() <= self.theta {
-            for t in 0..self.tables.len() {
-                let idx = self.index(t, pc);
-                let w = &mut self.tables[t][idx];
+            for &idx in &selected[..self.tables] {
+                let w = &mut self.weights[idx];
                 *w = if taken { w.saturating_add(1) } else { w.saturating_sub(1) };
             }
         }

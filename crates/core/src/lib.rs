@@ -25,7 +25,7 @@
 //!
 //! ```
 //! use chirp_core::{Chirp, ChirpConfig};
-//! use chirp_tlb::{L2Tlb, TlbGeometry, TranslationKind};
+//! use chirp_tlb::{L2Tlb, TlbGeometry, TlbReplacementPolicy, TranslationKind};
 //!
 //! let geom = TlbGeometry::default();
 //! let policy = Chirp::new(geom, ChirpConfig::default());

@@ -19,7 +19,7 @@
 use crate::config::ChirpConfig;
 use crate::signature::{table_index, SignatureBuilder};
 use crate::table::PredictionTable;
-use chirp_mem::LruStack;
+use chirp_mem::PackedLru;
 use chirp_tlb::{PolicyStorage, TlbAccess, TlbGeometry, TlbReplacementPolicy};
 use chirp_trace::BranchClass;
 
@@ -48,7 +48,7 @@ pub struct Chirp {
     signatures: SignatureBuilder,
     table: PredictionTable,
     meta: Vec<EntryMeta>,
-    lru: Vec<LruStack>,
+    lru: PackedLru,
     last_set: Option<usize>,
     counters: ChirpCounters,
 }
@@ -76,7 +76,7 @@ impl Chirp {
             signatures: SignatureBuilder::new(&config),
             table: PredictionTable::new(config.table_entries, config.counter_bits),
             meta: vec![EntryMeta::default(); geometry.entries],
-            lru: (0..geometry.sets()).map(|_| LruStack::new(geometry.ways)).collect(),
+            lru: PackedLru::new(geometry.sets(), geometry.ways),
             last_set: None,
             counters: ChirpCounters::default(),
             config,
@@ -116,6 +116,7 @@ impl TlbReplacementPolicy for Chirp {
         "chirp"
     }
 
+    #[inline]
     fn choose_victim(&mut self, acc: &TlbAccess) -> usize {
         // Algorithm 5, VICTIMENTRY: first dead entry, else LRU.
         for way in 0..self.geometry.ways {
@@ -125,7 +126,7 @@ impl TlbReplacementPolicy for Chirp {
             }
         }
         self.counters.lru_evictions += 1;
-        self.lru[acc.set].lru()
+        self.lru.lru(acc.set)
     }
 
     fn on_evict(&mut self, set: usize, way: usize) {
@@ -160,7 +161,7 @@ impl TlbReplacementPolicy for Chirp {
         }
         // Every hit refreshes the stored signature and recency (line 20-21).
         self.meta[i].signature = new_sig;
-        self.lru[acc.set].touch(way);
+        self.lru.touch(acc.set, way);
         self.last_set = Some(acc.set);
         self.signatures.record_access(acc.pc);
     }
@@ -170,7 +171,7 @@ impl TlbReplacementPolicy for Chirp {
         let dead = self.predict_dead(sig);
         let i = self.idx(acc.set, way);
         self.meta[i] = EntryMeta { signature: sig, dead, first_hit_pending: true };
-        self.lru[acc.set].touch(way);
+        self.lru.touch(acc.set, way);
         self.last_set = Some(acc.set);
         self.signatures.record_access(acc.pc);
     }
@@ -269,7 +270,7 @@ mod tests {
         for way in 0..4 {
             p.on_fill(&acc(0x400 + way as u64 * 4, 0), way);
         }
-        assert_eq!(p.choose_victim(&acc(0, 0)), p.lru[0].lru());
+        assert_eq!(p.choose_victim(&acc(0, 0)), p.lru.lru(0));
         let i = p.idx(0, 2);
         p.meta[i].dead = true;
         assert_eq!(p.choose_victim(&acc(0, 0)), 2);

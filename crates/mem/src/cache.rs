@@ -1,6 +1,6 @@
 //! A set-associative, true-LRU cache model.
 
-use crate::lru::LruStack;
+use crate::packed_lru::PackedLru;
 use crate::stats::CacheStats;
 use serde::{Deserialize, Serialize};
 
@@ -33,24 +33,21 @@ impl CacheConfig {
     }
 }
 
-#[derive(Debug, Clone)]
-struct CacheSet {
-    tags: Vec<u64>,
-    valid: Vec<bool>,
-    lru: LruStack,
-}
-
-impl CacheSet {
-    fn new(ways: usize) -> Self {
-        CacheSet { tags: vec![0; ways], valid: vec![false; ways], lru: LruStack::new(ways) }
-    }
-}
-
 /// One set-associative LRU cache level.
+///
+/// Tag and valid bit share one word per line (`tag << 1 | valid`,
+/// row-major by set), so a whole-set probe — the common case for the
+/// lower levels, whose miss ratios approach 1.0 on the paper's
+/// workloads — reads half the cache lines a split tag/valid layout
+/// would, and one pass yields both the matching way and the first free
+/// way. Invalid lines hold 0, which can never equal a lookup key
+/// because the key always has the valid bit set.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<CacheSet>,
+    /// `sets * ways` entries of `tag << 1 | 1`, or 0 when invalid.
+    meta: Vec<u64>,
+    lru: PackedLru,
     line_shift: u32,
     set_mask: u64,
     stats: CacheStats,
@@ -61,7 +58,8 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
         Cache {
-            sets: (0..sets).map(|_| CacheSet::new(config.ways)).collect(),
+            meta: vec![0; sets * config.ways],
+            lru: PackedLru::new(sets, config.ways),
             line_shift: config.line_bytes.trailing_zeros(),
             set_mask: sets as u64 - 1,
             config,
@@ -79,36 +77,69 @@ impl Cache {
         self.stats
     }
 
-    /// Looks up `addr`, filling the line on a miss. Returns `true` on hit.
-    pub fn access(&mut self, addr: u64) -> bool {
+    /// The lookup key for `addr`: `(set index, tag << 1 | 1)`.
+    #[inline]
+    fn key(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_shift;
         let set_idx = (line & self.set_mask) as usize;
         let tag = line >> self.set_mask.count_ones();
-        let set = &mut self.sets[set_idx];
-        for way in 0..set.tags.len() {
-            if set.valid[way] && set.tags[way] == tag {
-                set.lru.touch(way);
+        debug_assert!(tag < 1 << 63, "tag must leave room for the valid bit");
+        (set_idx, tag << 1 | 1)
+    }
+
+    /// Looks up `addr`, filling the line on a miss. Returns `true` on hit.
+    #[inline]
+    pub fn access(&mut self, addr: u64) -> bool {
+        let (set_idx, key) = self.key(addr);
+        let ways = self.config.ways;
+        let base = set_idx * ways;
+        let set = &mut self.meta[base..base + ways];
+        // One pass finds both the matching way (hit) and the first free
+        // way (preferred victim on a miss; invalid entries are 0).
+        let mut free = usize::MAX;
+        for (way, &entry) in set.iter().enumerate() {
+            if entry == key {
+                self.lru.touch(set_idx, way);
                 self.stats.hits += 1;
                 return true;
             }
+            if entry == 0 && free == usize::MAX {
+                free = way;
+            }
         }
         self.stats.misses += 1;
-        // Prefer an invalid way, else evict LRU.
-        let victim = (0..set.tags.len()).find(|&w| !set.valid[w]).unwrap_or_else(|| set.lru.lru());
-        set.tags[victim] = tag;
-        set.valid[victim] = true;
-        set.lru.touch(victim);
+        let victim = if free != usize::MAX { free } else { self.lru.lru(set_idx) };
+        set[victim] = key;
+        self.lru.touch(set_idx, victim);
         false
+    }
+
+    /// Hints the host to pull the set `addr` maps to into its own cache.
+    ///
+    /// The lower levels' metadata arrays run to megabytes, so a miss
+    /// ladder (L1 → L2 → L3) is a chain of dependent host-memory
+    /// stalls; prefetching the next level's set while the current one
+    /// is probed overlaps them. Purely a performance hint — no
+    /// simulated state changes.
+    #[inline]
+    pub fn prefetch(&self, addr: u64) {
+        let (set_idx, _) = self.key(addr);
+        let base = set_idx * self.config.ways;
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(self.meta.as_ptr().add(base).cast::<i8>(), _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = base;
     }
 
     /// True if the line holding `addr` is currently resident (no side
     /// effects — does not update recency or stats).
     pub fn probe(&self, addr: u64) -> bool {
-        let line = addr >> self.line_shift;
-        let set_idx = (line & self.set_mask) as usize;
-        let tag = line >> self.set_mask.count_ones();
-        let set = &self.sets[set_idx];
-        (0..set.tags.len()).any(|w| set.valid[w] && set.tags[w] == tag)
+        let (set_idx, key) = self.key(addr);
+        let base = set_idx * self.config.ways;
+        self.meta[base..base + self.config.ways].contains(&key)
     }
 }
 

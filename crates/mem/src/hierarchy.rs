@@ -57,6 +57,7 @@ impl MemoryHierarchy {
     }
 
     /// Instruction fetch from `pc`; returns the access latency in cycles.
+    #[inline]
     pub fn fetch(&mut self, pc: u64) -> u64 {
         if self.l1i.access(pc) {
             return self.l1i.config().hit_latency;
@@ -65,6 +66,7 @@ impl MemoryHierarchy {
     }
 
     /// Data load from `addr`; returns the access latency in cycles.
+    #[inline]
     pub fn load(&mut self, addr: u64) -> u64 {
         if self.l1d.access(addr) {
             return self.l1d.config().hit_latency;
@@ -73,11 +75,17 @@ impl MemoryHierarchy {
     }
 
     /// Data store to `addr` (write-allocate); returns the latency in cycles.
+    #[inline]
     pub fn store(&mut self, addr: u64) -> u64 {
         self.load(addr)
     }
 
     fn beyond_l1(&mut self, addr: u64, l1_latency: u64) -> u64 {
+        // The L2 and L3 sets this address maps to are independent of the
+        // probe outcomes; ask the host for both before walking the
+        // ladder so the dependent probes overlap instead of serialize.
+        self.l2.prefetch(addr);
+        self.l3.prefetch(addr);
         if self.l2.access(addr) {
             return l1_latency + self.l2.config().hit_latency;
         }

@@ -19,9 +19,11 @@
 pub mod cache;
 pub mod hierarchy;
 pub mod lru;
+pub mod packed_lru;
 pub mod stats;
 
 pub use cache::{Cache, CacheConfig};
 pub use hierarchy::{HierarchyConfig, MemoryHierarchy};
 pub use lru::LruStack;
+pub use packed_lru::PackedLru;
 pub use stats::CacheStats;

@@ -14,18 +14,30 @@ use chirp_branch::BranchUnit;
 use chirp_mem::MemoryHierarchy;
 use chirp_telemetry::{EpochRow, EpochSampler};
 use chirp_tlb::{TlbHierarchy, TlbReplacementPolicy, TlbStats, TranslationKind};
-use chirp_trace::{vpn, InstrKind, TraceRecord, TraceSource};
+use chirp_trace::{vpn, InstrKind, PackedTrace, TraceChunk, TraceRecord, TraceSource};
+
+/// Records streamed per [`TraceChunk`] by the columnar run loop. Large
+/// enough to amortise per-chunk bookkeeping, small enough that the chunk's
+/// columns stay resident in L1/L2 cache while it is consumed.
+const CHUNK_SIZE: usize = 4096;
 
 /// The assembled machine model.
-pub struct Simulator {
+///
+/// Generic over the L2 TLB replacement policy. The default parameter keeps
+/// the dynamic-dispatch construction (`Simulator::new` with a boxed
+/// policy) compiling unchanged; performance-sensitive callers use
+/// [`Simulator::with_policy`] with a concrete type (for example
+/// [`crate::PolicyDispatch`]) so the whole per-instruction chain
+/// monomorphizes.
+pub struct Simulator<P: TlbReplacementPolicy = Box<dyn TlbReplacementPolicy>> {
     mem: MemoryHierarchy,
     branch: BranchUnit,
-    tlbs: TlbHierarchy,
+    tlbs: TlbHierarchy<P>,
     cycles: u64,
     instructions: u64,
 }
 
-impl std::fmt::Debug for Simulator {
+impl<P: TlbReplacementPolicy> std::fmt::Debug for Simulator<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("cycles", &self.cycles)
@@ -35,8 +47,18 @@ impl std::fmt::Debug for Simulator {
 }
 
 impl Simulator {
-    /// Builds a simulator with the given L2 TLB replacement policy.
+    /// Builds a simulator with a boxed (dynamically dispatched) L2 TLB
+    /// replacement policy — the legacy constructor, kept as a
+    /// compatibility shim over [`Simulator::with_policy`].
     pub fn new(config: &SimConfig, l2_policy: Box<dyn TlbReplacementPolicy>) -> Self {
+        Simulator::with_policy(config, l2_policy)
+    }
+}
+
+impl<P: TlbReplacementPolicy> Simulator<P> {
+    /// Builds a simulator with the given L2 TLB replacement policy,
+    /// monomorphized over the policy's concrete type.
+    pub fn with_policy(config: &SimConfig, l2_policy: P) -> Self {
         Simulator {
             mem: MemoryHierarchy::new(config.mem),
             branch: BranchUnit::new(config.branch),
@@ -47,6 +69,7 @@ impl Simulator {
     }
 
     /// Executes one instruction, accumulating cycles.
+    #[inline]
     pub fn step(&mut self, rec: &TraceRecord) {
         self.instructions += 1;
         let mut cycles = 1u64;
@@ -107,6 +130,44 @@ impl Simulator {
             self.step(&rec);
         }
         self.finish_result(window)
+    }
+
+    /// Runs a [`PackedTrace`] through the columnar hot loop: the trace is
+    /// streamed in struct-of-arrays chunks ([`PackedTrace::chunks`]) so the
+    /// loop reads the pc/kind/taken columns directly instead of
+    /// materialising a full [`TraceRecord`] through the iterator chain for
+    /// every instruction.
+    ///
+    /// Produces a [`RunResult`] bit-identical to
+    /// [`run`](Self::run)`(trace, warmup_fraction)` — the chunked records
+    /// are exactly the packed records in order, and warmup is cut at the
+    /// same instruction index (mid-chunk via [`TraceChunk::split_at`]).
+    pub fn run_columnar(&mut self, trace: &PackedTrace, warmup_fraction: f64) -> RunResult {
+        let len = trace.len();
+        let warmup = (((len as f64) * warmup_fraction.clamp(0.0, 1.0)) as usize).min(len);
+        let mut window = None;
+        let mut pos = 0usize;
+        for chunk in trace.chunks(CHUNK_SIZE) {
+            if window.is_none() && warmup <= pos + chunk.len() {
+                let (head, tail) = chunk.split_at(warmup - pos);
+                self.step_chunk(&head);
+                window = Some(self.window_start());
+                self.step_chunk(&tail);
+            } else {
+                self.step_chunk(&chunk);
+            }
+            pos += chunk.len();
+        }
+        let window = window.unwrap_or_else(|| self.window_start());
+        self.finish_result(window)
+    }
+
+    /// Steps every record of one columnar chunk.
+    #[inline]
+    fn step_chunk(&mut self, chunk: &TraceChunk<'_>) {
+        for rec in chunk.records() {
+            self.step(&rec);
+        }
     }
 
     /// Runs the whole trace like [`run`](Self::run), additionally sampling
@@ -209,7 +270,7 @@ impl Simulator {
     }
 
     /// The TLB hierarchy (for experiment-specific inspection).
-    pub fn tlbs(&self) -> &TlbHierarchy {
+    pub fn tlbs(&self) -> &TlbHierarchy<P> {
         &self.tlbs
     }
 

@@ -34,7 +34,7 @@ pub mod telemetry;
 pub use config::SimConfig;
 pub use engine::Simulator;
 pub use metrics::RunResult;
-pub use registry::PolicyKind;
+pub use registry::{PolicyDispatch, PolicyKind};
 pub use runner::{run_suite, run_suite_cached, BenchRun, CacheStats, RunnerConfig};
 pub use sched::{last_scheduler_summary, SchedulerSummary};
 pub use telemetry::{

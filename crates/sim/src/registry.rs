@@ -6,7 +6,8 @@ use chirp_tlb::policies::{
     Drrip, Ghrp, GhrpConfig, Lru, PerceptronConfig, PerceptronReuse, RandomPolicy, ShipConfig,
     ShipTlb, Srrip,
 };
-use chirp_tlb::{TlbGeometry, TlbReplacementPolicy};
+use chirp_tlb::{PolicyStorage, TlbAccess, TlbGeometry, TlbReplacementPolicy};
+use chirp_trace::BranchClass;
 use serde::{Deserialize, Serialize};
 
 /// The policies under study (paper §V: LRU, Random, SRRIP, SHiP, GHRP,
@@ -75,6 +76,126 @@ impl PolicyKind {
                 Box::new(PerceptronReuse::new(geometry, PerceptronConfig::default()))
             }
         }
+    }
+
+    /// Instantiates the policy as an enum-dispatched [`PolicyDispatch`] —
+    /// the statically-dispatched counterpart of [`build`](Self::build) for
+    /// the monomorphized hot loop. Produces the identical initial policy
+    /// state for the same `(geometry, seed)`.
+    pub fn build_dispatch(&self, geometry: TlbGeometry, seed: u64) -> PolicyDispatch {
+        match self {
+            PolicyKind::Lru => PolicyDispatch::Lru(Lru::new(geometry)),
+            PolicyKind::Random => PolicyDispatch::Random(RandomPolicy::new(geometry, seed)),
+            PolicyKind::Srrip => PolicyDispatch::Srrip(Srrip::new(geometry)),
+            PolicyKind::Ship => PolicyDispatch::Ship(ShipTlb::new(geometry, ShipConfig::default())),
+            PolicyKind::Ghrp => PolicyDispatch::Ghrp(Ghrp::new(geometry, GhrpConfig::default())),
+            PolicyKind::Chirp(config) => {
+                PolicyDispatch::Chirp(Box::new(Chirp::new(geometry, *config)))
+            }
+            PolicyKind::Drrip => PolicyDispatch::Drrip(Drrip::new(geometry)),
+            PolicyKind::PerceptronReuse => PolicyDispatch::Perceptron(PerceptronReuse::new(
+                geometry,
+                PerceptronConfig::default(),
+            )),
+        }
+    }
+}
+
+/// Closed enum over the in-tree replacement policies.
+///
+/// Plugging this into `Simulator<PolicyDispatch>` replaces the per-call
+/// vtable lookup of `Box<dyn TlbReplacementPolicy>` with a jump table the
+/// compiler can see through, letting the `translate → access →
+/// choose_victim` chain inline. The CHiRP variant stays boxed (its state is
+/// by far the largest) so the enum itself stays small.
+#[derive(Debug)]
+pub enum PolicyDispatch {
+    /// True LRU.
+    Lru(Lru),
+    /// Random victim.
+    Random(RandomPolicy),
+    /// Static RRIP.
+    Srrip(Srrip),
+    /// SHiP (TLB adaptation).
+    Ship(ShipTlb),
+    /// GHRP (TLB adaptation).
+    Ghrp(Ghrp),
+    /// CHiRP.
+    Chirp(Box<Chirp>),
+    /// Dynamic RRIP.
+    Drrip(Drrip),
+    /// Perceptron reuse prediction.
+    Perceptron(PerceptronReuse),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $p:ident => $body:expr) => {
+        match $self {
+            PolicyDispatch::Lru($p) => $body,
+            PolicyDispatch::Random($p) => $body,
+            PolicyDispatch::Srrip($p) => $body,
+            PolicyDispatch::Ship($p) => $body,
+            PolicyDispatch::Ghrp($p) => $body,
+            PolicyDispatch::Chirp($p) => $body,
+            PolicyDispatch::Drrip($p) => $body,
+            PolicyDispatch::Perceptron($p) => $body,
+        }
+    };
+}
+
+impl TlbReplacementPolicy for PolicyDispatch {
+    fn name(&self) -> &str {
+        dispatch!(self, p => p.name())
+    }
+
+    #[inline]
+    fn choose_victim(&mut self, acc: &TlbAccess) -> usize {
+        dispatch!(self, p => p.choose_victim(acc))
+    }
+
+    #[inline]
+    fn on_hit(&mut self, acc: &TlbAccess, way: usize) {
+        dispatch!(self, p => p.on_hit(acc, way))
+    }
+
+    #[inline]
+    fn on_fill(&mut self, acc: &TlbAccess, way: usize) {
+        dispatch!(self, p => p.on_fill(acc, way))
+    }
+
+    #[inline]
+    fn on_evict(&mut self, set: usize, way: usize) {
+        dispatch!(self, p => p.on_evict(set, way))
+    }
+
+    #[inline]
+    fn on_branch(&mut self, pc: u64, class: BranchClass, taken: bool) {
+        dispatch!(self, p => p.on_branch(pc, class, taken))
+    }
+
+    #[inline]
+    fn on_mispredict(&mut self, pc: u64) {
+        dispatch!(self, p => p.on_mispredict(pc))
+    }
+
+    fn prediction_table_accesses(&self) -> u64 {
+        dispatch!(self, p => p.prediction_table_accesses())
+    }
+
+    fn dead_eviction_count(&self) -> u64 {
+        dispatch!(self, p => p.dead_eviction_count())
+    }
+
+    fn predicts_dead(&self, set: usize, way: usize) -> Option<bool> {
+        dispatch!(self, p => p.predicts_dead(set, way))
+    }
+
+    fn storage(&self) -> PolicyStorage {
+        dispatch!(self, p => p.storage())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        dispatch!(self, p => p.as_any())
     }
 }
 

@@ -134,7 +134,11 @@ fn run_suite_direct(
 }
 
 /// Builds and runs one (benchmark × policy) simulation over a shared
-/// packed trace.
+/// packed trace, on the monomorphized columnar hot loop
+/// ([`crate::PolicyDispatch`] + [`Simulator::run_columnar`]). Results are
+/// bit-identical to the legacy `Simulator::new` + `run` path — pinned by
+/// the 9-policy × 4-benchmark matrix in `tests/equivalence_matrix.rs` and
+/// by `scheduler_reproduces_benchwise_baseline_exactly` below.
 fn simulate_pair(
     suite: &[BenchmarkSpec],
     policies: &[PolicyKind],
@@ -145,8 +149,9 @@ fn simulate_pair(
 ) -> BenchRun {
     let bench = &suite[item.bench];
     let policy = &policies[item.policies[pos]];
-    let mut sim = Simulator::new(&config.sim, policy.build(config.sim.tlb.l2, bench.seed));
-    let result = sim.run(trace, config.sim.warmup_fraction);
+    let mut sim =
+        Simulator::with_policy(&config.sim, policy.build_dispatch(config.sim.tlb.l2, bench.seed));
+    let result = sim.run_columnar(trace, config.sim.warmup_fraction);
     BenchRun { benchmark: bench.name.clone(), category: bench.category, result }
 }
 

@@ -53,6 +53,10 @@ pub struct SchedulerSummary {
     pub sim_tasks: usize,
     /// Worker threads used.
     pub threads: usize,
+    /// Logical CPUs available to this process when the run executed —
+    /// context for interpreting thread-scaling numbers (an 8-thread run on
+    /// one CPU cannot be expected to speed up).
+    pub cpus: usize,
     /// Most traces resident at any instant.
     pub peak_resident_traces: usize,
     /// Most packed-trace bytes resident at any instant.
@@ -73,12 +77,13 @@ impl SchedulerSummary {
     /// One-line human-readable rendering for harness output.
     pub fn render(&self) -> String {
         format!(
-            "{} work units ({} sims) on {} threads | peak {} traces / {:.1} MiB in flight | \
-             peak {} concurrent fetches, {} queued sims | sim latency p50 {} us / p99 {} us | \
-             {:.2}s wall",
+            "{} work units ({} sims) on {} threads / {} cpus | peak {} traces / {:.1} MiB in \
+             flight | peak {} concurrent fetches, {} queued sims | sim latency p50 {} us / p99 \
+             {} us | {:.2}s wall",
             self.work_units,
             self.sim_tasks,
             self.threads,
+            self.cpus,
             self.peak_resident_traces,
             self.peak_resident_bytes as f64 / (1024.0 * 1024.0),
             self.concurrent_fetch_peak,
@@ -294,6 +299,7 @@ where
         work_units: work.len(),
         sim_tasks: work.iter().map(|w| w.policies.len()).sum(),
         threads,
+        cpus: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         peak_resident_traces: st.peak_traces,
         peak_resident_bytes: st.peak_bytes,
         concurrent_fetch_peak: st.fetch_peak,

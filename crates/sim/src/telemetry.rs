@@ -233,11 +233,14 @@ pub fn run_suite_telemetry(
         |w, pos, trace| {
             let bench = &suite[work[w].bench];
             let policy = &policies[work[w].policies[pos]];
-            let mut sim = Simulator::new(&config.sim, policy.build(config.sim.tlb.l2, bench.seed));
+            let mut sim = Simulator::with_policy(
+                &config.sim,
+                policy.build_dispatch(config.sim.tlb.l2, bench.seed),
+            );
             let (result, rows) = if spec.mode.is_enabled() {
                 sim.run_instrumented(trace, config.sim.warmup_fraction, spec.epoch_instructions)
             } else {
-                (sim.run(trace, config.sim.warmup_fraction), Vec::new())
+                (sim.run_columnar(trace, config.sim.warmup_fraction), Vec::new())
             };
             let run = BenchRun { benchmark: bench.name.clone(), category: bench.category, result };
             let series = UnitSeries {

@@ -1,0 +1,124 @@
+//! The tentpole equivalence gate for the monomorphized columnar hot loop:
+//! for every in-tree policy on every suite benchmark, the new path
+//! (`Simulator::with_policy` over [`PolicyDispatch`] + `run_columnar`)
+//! must reproduce the legacy path (`Simulator::new` over
+//! `Box<dyn TlbReplacementPolicy>` + per-record `run`) bit for bit —
+//! `RunResult` (which embeds the measured `TlbStats`), the L2 totals, and
+//! CHiRP's internal counters.
+
+use chirp_core::{Chirp, ChirpConfig};
+use chirp_sim::{PolicyKind, RunResult, SimConfig, Simulator};
+use chirp_tlb::{TlbReplacementPolicy, TlbStats};
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use chirp_trace::PackedTrace;
+
+const INSTRUCTIONS: usize = 30_000;
+const BENCHMARKS: usize = 4;
+
+/// The 9-policy lineup: the paper's six plus the three extension
+/// baselines (DRRIP, perceptron reuse, short-history CHiRP).
+fn lineup9() -> Vec<PolicyKind> {
+    let mut policies = PolicyKind::paper_lineup();
+    policies.push(PolicyKind::Drrip);
+    policies.push(PolicyKind::PerceptronReuse);
+    policies.push(PolicyKind::Chirp(ChirpConfig { path_length: 8, ..ChirpConfig::default() }));
+    policies
+}
+
+struct PathOutcome {
+    result: RunResult,
+    stats_total: TlbStats,
+    chirp: Option<chirp_core::policy::ChirpCounters>,
+}
+
+fn legacy_path(
+    policy: &PolicyKind,
+    config: &SimConfig,
+    trace: &PackedTrace,
+    seed: u64,
+) -> PathOutcome {
+    let mut sim = Simulator::new(config, policy.build(config.tlb.l2, seed));
+    let result = sim.run(trace, config.warmup_fraction);
+    let stats_total = sim.tlbs().l2().stats();
+    let chirp = sim
+        .tlbs()
+        .l2()
+        .policy()
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Chirp>())
+        .map(|c| c.counters());
+    PathOutcome { result, stats_total, chirp }
+}
+
+fn columnar_path(
+    policy: &PolicyKind,
+    config: &SimConfig,
+    trace: &PackedTrace,
+    seed: u64,
+) -> PathOutcome {
+    let mut sim = Simulator::with_policy(config, policy.build_dispatch(config.tlb.l2, seed));
+    let result = sim.run_columnar(trace, config.warmup_fraction);
+    let stats_total = sim.tlbs().l2().stats();
+    let chirp = sim
+        .tlbs()
+        .l2()
+        .policy()
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Chirp>())
+        .map(|c| c.counters());
+    PathOutcome { result, stats_total, chirp }
+}
+
+#[test]
+fn columnar_dispatch_matches_legacy_for_every_policy_and_benchmark() {
+    let suite = build_suite(&SuiteConfig { benchmarks: BENCHMARKS });
+    let config = SimConfig::default();
+    let policies = lineup9();
+    assert_eq!(policies.len(), 9);
+
+    for bench in &suite {
+        let trace = bench.generate_packed(INSTRUCTIONS);
+        for policy in &policies {
+            let legacy = legacy_path(policy, &config, &trace, bench.seed);
+            let columnar = columnar_path(policy, &config, &trace, bench.seed);
+            let label = format!("{} on {}", policy.name(), bench.name);
+            assert_eq!(columnar.result, legacy.result, "RunResult diverged: {label}");
+            assert_eq!(columnar.stats_total, legacy.stats_total, "TlbStats diverged: {label}");
+            assert_eq!(columnar.chirp, legacy.chirp, "ChirpCounters diverged: {label}");
+            if matches!(policy, PolicyKind::Chirp(_)) {
+                assert!(columnar.chirp.is_some(), "CHiRP counters must be reachable: {label}");
+            }
+        }
+    }
+}
+
+/// Warmup edge cases: 0% (whole trace measured), 100% (empty window) and a
+/// fraction that cuts mid-chunk must all agree between the paths.
+#[test]
+fn columnar_matches_legacy_at_warmup_extremes() {
+    let suite = build_suite(&SuiteConfig { benchmarks: 1 });
+    let bench = &suite[0];
+    let trace = bench.generate_packed(10_000);
+    let policy = PolicyKind::Chirp(ChirpConfig::default());
+    for warmup in [0.0, 0.1337, 0.5, 1.0] {
+        let config = SimConfig { warmup_fraction: warmup, ..SimConfig::default() };
+        let legacy = legacy_path(&policy, &config, &trace, bench.seed);
+        let columnar = columnar_path(&policy, &config, &trace, bench.seed);
+        assert_eq!(columnar.result, legacy.result, "warmup={warmup}");
+        assert_eq!(columnar.stats_total, legacy.stats_total, "warmup={warmup}");
+        assert_eq!(columnar.chirp, legacy.chirp, "warmup={warmup}");
+    }
+}
+
+/// An empty trace must produce the same (all-zero window) result on both
+/// paths without panicking.
+#[test]
+fn columnar_handles_empty_trace() {
+    let trace = PackedTrace::from_records(&[]);
+    let config = SimConfig::default();
+    let policy = PolicyKind::Lru;
+    let legacy = legacy_path(&policy, &config, &trace, 0);
+    let columnar = columnar_path(&policy, &config, &trace, 0);
+    assert_eq!(columnar.result, legacy.result);
+    assert_eq!(columnar.result.instructions, 0);
+}

@@ -5,7 +5,7 @@ use crate::policy::TlbReplacementPolicy;
 use crate::tlb::L2Tlb;
 use crate::types::{TlbGeometry, TranslationKind};
 use crate::walker::PageWalker;
-use chirp_mem::LruStack;
+use chirp_mem::PackedLru;
 use chirp_trace::BranchClass;
 use serde::{Deserialize, Serialize};
 
@@ -53,13 +53,15 @@ pub struct Translation {
     pub l2: Option<bool>,
 }
 
-/// Simple L1 TLB: set-associative, true-LRU, no policy hooks.
+/// Simple L1 TLB: set-associative, true-LRU, no policy hooks. Recency
+/// lives in one flat [`PackedLru`] allocation alongside the tag/valid
+/// arrays — no per-set heap indirection on the per-instruction path.
 #[derive(Debug, Clone)]
 struct L1Tlb {
     geometry: TlbGeometry,
     tags: Vec<u64>,
     valid: Vec<bool>,
-    lru: Vec<LruStack>,
+    lru: PackedLru,
     hits: u64,
     misses: u64,
 }
@@ -71,51 +73,56 @@ impl L1Tlb {
             geometry,
             tags: vec![0; sets * geometry.ways],
             valid: vec![false; sets * geometry.ways],
-            lru: (0..sets).map(|_| LruStack::new(geometry.ways)).collect(),
+            lru: PackedLru::new(sets, geometry.ways),
             hits: 0,
             misses: 0,
         }
     }
 
     /// Returns true on hit; fills (evicting LRU) on miss.
+    #[inline]
     fn access(&mut self, vpn: u64) -> bool {
         let set = self.geometry.set_of(vpn);
         let ways = self.geometry.ways;
         let base = set * ways;
         for way in 0..ways {
             if self.valid[base + way] && self.tags[base + way] == vpn {
-                self.lru[set].touch(way);
+                self.lru.touch(set, way);
                 self.hits += 1;
                 return true;
             }
         }
         self.misses += 1;
-        let way = (0..ways).find(|&w| !self.valid[base + w]).unwrap_or_else(|| self.lru[set].lru());
+        let way = (0..ways).find(|&w| !self.valid[base + w]).unwrap_or_else(|| self.lru.lru(set));
         self.tags[base + way] = vpn;
         self.valid[base + way] = true;
-        self.lru[set].touch(way);
+        self.lru.touch(set, way);
         false
     }
 }
 
 /// L1 i/d TLBs + unified L2 TLB + page walker.
-pub struct TlbHierarchy {
+///
+/// Generic over the L2 replacement policy (defaulting to the boxed trait
+/// object) so the `translate → access → choose_victim` chain monomorphizes
+/// when a concrete policy type is plugged in.
+pub struct TlbHierarchy<P: TlbReplacementPolicy = Box<dyn TlbReplacementPolicy>> {
     l1i: L1Tlb,
     l1d: L1Tlb,
-    l2: L2Tlb,
+    l2: L2Tlb<P>,
     walker: PageWalker,
     config: TlbHierarchyConfig,
 }
 
-impl std::fmt::Debug for TlbHierarchy {
+impl<P: TlbReplacementPolicy> std::fmt::Debug for TlbHierarchy<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TlbHierarchy").field("config", &self.config).field("l2", &self.l2).finish()
     }
 }
 
-impl TlbHierarchy {
+impl<P: TlbReplacementPolicy> TlbHierarchy<P> {
     /// Builds the hierarchy with the given L2 replacement policy.
-    pub fn new(config: TlbHierarchyConfig, l2_policy: Box<dyn TlbReplacementPolicy>) -> Self {
+    pub fn new(config: TlbHierarchyConfig, l2_policy: P) -> Self {
         let mut walker = PageWalker::new(config.walk_penalty);
         if let Some((entries, hit_penalty)) = config.psc {
             walker = walker.with_psc(entries, hit_penalty);
@@ -131,6 +138,7 @@ impl TlbHierarchy {
 
     /// Translates an address. `pc` is the instruction responsible (equal to
     /// the translated address for instruction fetches).
+    #[inline]
     pub fn translate(&mut self, pc: u64, vpn: u64, kind: TranslationKind) -> Translation {
         let l1 = match kind {
             TranslationKind::Instruction => &mut self.l1i,
@@ -149,24 +157,26 @@ impl TlbHierarchy {
     }
 
     /// Forwards a retired branch to the L2 policy.
+    #[inline]
     pub fn on_branch(&mut self, pc: u64, class: BranchClass, taken: bool) {
         self.l2.on_branch(pc, class, taken);
     }
 
     /// Forwards a misprediction event to the L2 policy (wrong-path
     /// modelling hook).
+    #[inline]
     pub fn on_mispredict(&mut self, pc: u64) {
         self.l2.on_mispredict(pc);
     }
 
     /// The L2 TLB (stats, efficiency, policy access).
-    pub fn l2(&self) -> &L2Tlb {
+    pub fn l2(&self) -> &L2Tlb<P> {
         &self.l2
     }
 
     /// Mutable L2 TLB access, for enabling telemetry tracking
     /// ([`L2Tlb::enable_outcome_tracking`]) before a run.
-    pub fn l2_mut(&mut self) -> &mut L2Tlb {
+    pub fn l2_mut(&mut self) -> &mut L2Tlb<P> {
         &mut self.l2
     }
 

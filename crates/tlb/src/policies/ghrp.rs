@@ -16,7 +16,7 @@
 
 use crate::policy::{PolicyStorage, TlbReplacementPolicy};
 use crate::types::{TlbAccess, TlbGeometry};
-use chirp_mem::LruStack;
+use chirp_mem::PackedLru;
 use chirp_trace::BranchClass;
 use serde::{Deserialize, Serialize};
 
@@ -48,7 +48,7 @@ struct EntryMeta {
 pub struct Ghrp {
     meta: Vec<EntryMeta>,
     tables: [Vec<u8>; 3],
-    lru: Vec<LruStack>,
+    lru: PackedLru,
     history: u64,
     config: GhrpConfig,
     geometry: TlbGeometry,
@@ -64,7 +64,7 @@ impl Ghrp {
         Ghrp {
             meta: vec![EntryMeta::default(); geometry.entries],
             tables: [vec![0u8; n], vec![0u8; n], vec![0u8; n]],
-            lru: (0..geometry.sets()).map(|_| LruStack::new(geometry.ways)).collect(),
+            lru: PackedLru::new(geometry.sets(), geometry.ways),
             history: 0,
             config,
             geometry,
@@ -128,6 +128,7 @@ impl TlbReplacementPolicy for Ghrp {
         "ghrp"
     }
 
+    #[inline]
     fn choose_victim(&mut self, acc: &TlbAccess) -> usize {
         // Prefer a predicted-dead entry, else LRU.
         for way in 0..self.geometry.ways {
@@ -136,7 +137,7 @@ impl TlbReplacementPolicy for Ghrp {
                 return way;
             }
         }
-        self.lru[acc.set].lru()
+        self.lru.lru(acc.set)
     }
 
     fn on_hit(&mut self, acc: &TlbAccess, way: usize) {
@@ -149,7 +150,7 @@ impl TlbReplacementPolicy for Ghrp {
         let m = &mut self.meta[i];
         m.signature = new_sig;
         m.dead = dead;
-        self.lru[acc.set].touch(way);
+        self.lru.touch(acc.set, way);
     }
 
     fn on_evict(&mut self, set: usize, way: usize) {
@@ -165,7 +166,7 @@ impl TlbReplacementPolicy for Ghrp {
         let m = &mut self.meta[i];
         m.signature = sig;
         m.dead = dead;
-        self.lru[acc.set].touch(way);
+        self.lru.touch(acc.set, way);
     }
 
     fn on_branch(&mut self, pc: u64, class: BranchClass, taken: bool) {

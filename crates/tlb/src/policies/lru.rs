@@ -2,22 +2,19 @@
 
 use crate::policy::{PolicyStorage, TlbReplacementPolicy};
 use crate::types::{TlbAccess, TlbGeometry};
-use chirp_mem::LruStack;
+use chirp_mem::PackedLru;
 
-/// True LRU: per-set recency stacks.
+/// True LRU: per-set recency in one flat packed age array.
 #[derive(Debug, Clone)]
 pub struct Lru {
-    stacks: Vec<LruStack>,
+    stacks: PackedLru,
     geometry: TlbGeometry,
 }
 
 impl Lru {
     /// Creates LRU state for `geometry`.
     pub fn new(geometry: TlbGeometry) -> Self {
-        Lru {
-            stacks: (0..geometry.sets()).map(|_| LruStack::new(geometry.ways)).collect(),
-            geometry,
-        }
+        Lru { stacks: PackedLru::new(geometry.sets(), geometry.ways), geometry }
     }
 }
 
@@ -26,16 +23,19 @@ impl TlbReplacementPolicy for Lru {
         "lru"
     }
 
+    #[inline]
     fn choose_victim(&mut self, acc: &TlbAccess) -> usize {
-        self.stacks[acc.set].lru()
+        self.stacks.lru(acc.set)
     }
 
+    #[inline]
     fn on_hit(&mut self, acc: &TlbAccess, way: usize) {
-        self.stacks[acc.set].touch(way);
+        self.stacks.touch(acc.set, way);
     }
 
+    #[inline]
     fn on_fill(&mut self, acc: &TlbAccess, way: usize) {
-        self.stacks[acc.set].touch(way);
+        self.stacks.touch(acc.set, way);
     }
 
     fn storage(&self) -> PolicyStorage {

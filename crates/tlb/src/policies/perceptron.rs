@@ -15,7 +15,7 @@
 
 use crate::policy::{PolicyStorage, TlbReplacementPolicy};
 use crate::types::{TlbAccess, TlbGeometry};
-use chirp_mem::LruStack;
+use chirp_mem::PackedLru;
 use chirp_trace::BranchClass;
 use serde::{Deserialize, Serialize};
 
@@ -56,7 +56,7 @@ struct EntryMeta {
 pub struct PerceptronReuse {
     tables: Vec<Vec<i8>>,
     meta: Vec<EntryMeta>,
-    lru: Vec<LruStack>,
+    lru: PackedLru,
     /// Path history of L2-access PCs (2 bits per access, like CHiRP).
     path: u64,
     /// Conditional-branch PC history.
@@ -74,7 +74,7 @@ impl PerceptronReuse {
         PerceptronReuse {
             tables: vec![vec![0i8; 1 << config.table_bits]; FEATURES],
             meta: vec![EntryMeta::default(); geometry.entries],
-            lru: (0..geometry.sets()).map(|_| LruStack::new(geometry.ways)).collect(),
+            lru: PackedLru::new(geometry.sets(), geometry.ways),
             path: 0,
             cond: 0,
             config,
@@ -132,6 +132,7 @@ impl TlbReplacementPolicy for PerceptronReuse {
         "perceptron"
     }
 
+    #[inline]
     fn choose_victim(&mut self, acc: &TlbAccess) -> usize {
         for way in 0..self.geometry.ways {
             if self.meta[self.idx(acc.set, way)].dead {
@@ -139,7 +140,7 @@ impl TlbReplacementPolicy for PerceptronReuse {
                 return way;
             }
         }
-        self.lru[acc.set].lru()
+        self.lru.lru(acc.set)
     }
 
     fn on_evict(&mut self, set: usize, way: usize) {
@@ -162,7 +163,7 @@ impl TlbReplacementPolicy for PerceptronReuse {
         let m = &mut self.meta[i];
         m.feature_idx = idx;
         m.dead = dead;
-        self.lru[acc.set].touch(way);
+        self.lru.touch(acc.set, way);
         self.path = (self.path << 4) | ((acc.pc >> 2) & 0x3);
     }
 
@@ -171,7 +172,7 @@ impl TlbReplacementPolicy for PerceptronReuse {
         let dead = self.sum(&idx) > self.config.dead_threshold;
         let i = self.idx(acc.set, way);
         self.meta[i] = EntryMeta { feature_idx: idx, dead, first_hit_pending: true };
-        self.lru[acc.set].touch(way);
+        self.lru.touch(acc.set, way);
         self.path = (self.path << 4) | ((acc.pc >> 2) & 0x3);
     }
 

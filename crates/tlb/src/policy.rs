@@ -113,6 +113,61 @@ pub trait TlbReplacementPolicy {
     }
 }
 
+/// Forwarding impl so a boxed policy satisfies `P: TlbReplacementPolicy`
+/// bounds — the compatibility shim that lets `Box<dyn
+/// TlbReplacementPolicy>` remain the default type parameter of the generic
+/// TLB/simulator stack while monomorphized callers plug concrete policies
+/// in directly.
+impl<T: TlbReplacementPolicy + ?Sized> TlbReplacementPolicy for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn choose_victim(&mut self, acc: &TlbAccess) -> usize {
+        (**self).choose_victim(acc)
+    }
+
+    fn on_hit(&mut self, acc: &TlbAccess, way: usize) {
+        (**self).on_hit(acc, way)
+    }
+
+    fn on_fill(&mut self, acc: &TlbAccess, way: usize) {
+        (**self).on_fill(acc, way)
+    }
+
+    fn on_evict(&mut self, set: usize, way: usize) {
+        (**self).on_evict(set, way)
+    }
+
+    fn on_branch(&mut self, pc: u64, class: BranchClass, taken: bool) {
+        (**self).on_branch(pc, class, taken)
+    }
+
+    fn on_mispredict(&mut self, pc: u64) {
+        (**self).on_mispredict(pc)
+    }
+
+    fn prediction_table_accesses(&self) -> u64 {
+        (**self).prediction_table_accesses()
+    }
+
+    fn dead_eviction_count(&self) -> u64 {
+        (**self).dead_eviction_count()
+    }
+
+    fn predicts_dead(&self, set: usize, way: usize) -> Option<bool> {
+        (**self).predicts_dead(set, way)
+    }
+
+    fn storage(&self) -> PolicyStorage {
+        (**self).storage()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        (**self).as_any()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

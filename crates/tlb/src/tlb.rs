@@ -66,12 +66,17 @@ pub struct AccessOutcome {
 
 /// A set-associative TLB whose replacement decisions are delegated to a
 /// [`TlbReplacementPolicy`].
-pub struct L2Tlb {
+///
+/// Generic over the policy type so hot loops can monomorphize the
+/// `access → choose_victim` chain; the default `Box<dyn
+/// TlbReplacementPolicy>` parameter keeps every dynamic-dispatch call
+/// site compiling unchanged.
+pub struct L2Tlb<P: TlbReplacementPolicy = Box<dyn TlbReplacementPolicy>> {
     geometry: TlbGeometry,
     /// `sets * ways` VPN tags, flattened row-major by set.
     tags: Vec<u64>,
     valid: Vec<bool>,
-    policy: Box<dyn TlbReplacementPolicy>,
+    policy: P,
     stats: TlbStats,
     efficiency: EfficiencyTracker,
     /// Dead-prediction outcome tracking; `None` (the default) keeps the
@@ -79,7 +84,7 @@ pub struct L2Tlb {
     scoreboard: Option<OutcomeScoreboard>,
 }
 
-impl std::fmt::Debug for L2Tlb {
+impl<P: TlbReplacementPolicy> std::fmt::Debug for L2Tlb<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("L2Tlb")
             .field("geometry", &self.geometry)
@@ -89,9 +94,9 @@ impl std::fmt::Debug for L2Tlb {
     }
 }
 
-impl L2Tlb {
+impl<P: TlbReplacementPolicy> L2Tlb<P> {
     /// Builds the TLB with `geometry` and the given policy.
-    pub fn new(geometry: TlbGeometry, policy: Box<dyn TlbReplacementPolicy>) -> Self {
+    pub fn new(geometry: TlbGeometry, policy: P) -> Self {
         let sets = geometry.sets();
         L2Tlb {
             geometry,
@@ -133,6 +138,7 @@ impl L2Tlb {
 
     /// Looks up `vpn`, filling on a miss. `pc` is the instruction that
     /// caused the access (the PC the CHiRP signature uses, paper §IV-B).
+    #[inline]
     pub fn access(&mut self, pc: u64, vpn: u64, kind: TranslationKind) -> AccessOutcome {
         let set = self.geometry.set_of(vpn);
         let acc = TlbAccess { pc, vpn, kind, set };
@@ -186,11 +192,13 @@ impl L2Tlb {
     }
 
     /// Forwards a retired branch to the policy's history registers.
+    #[inline]
     pub fn on_branch(&mut self, pc: u64, class: BranchClass, taken: bool) {
         self.policy.on_branch(pc, class, taken);
     }
 
     /// Forwards a misprediction event to the policy (wrong-path hook).
+    #[inline]
     pub fn on_mispredict(&mut self, pc: u64) {
         self.policy.on_mispredict(pc);
     }
@@ -206,9 +214,11 @@ impl L2Tlb {
         self.efficiency.efficiency()
     }
 
-    /// The policy driving replacement.
-    pub fn policy(&self) -> &dyn TlbReplacementPolicy {
-        self.policy.as_ref()
+    /// The policy driving replacement. With the default boxed parameter
+    /// this derefs to `&dyn TlbReplacementPolicy` exactly as before; for a
+    /// concrete `P` it exposes the policy's own type.
+    pub fn policy(&self) -> &P {
+        &self.policy
     }
 
     /// True if `vpn` is currently resident (no side effects).

@@ -8,7 +8,7 @@
 //! upper-level entries were recently used — the Skylake-style MMU caches the
 //! paper mentions in §I.
 
-use chirp_mem::LruStack;
+use chirp_mem::PackedLru;
 
 /// Flat-latency page walker with an optional paging-structure cache.
 #[derive(Debug, Clone)]
@@ -23,7 +23,7 @@ pub struct PageWalker {
 struct Psc {
     tags: Vec<u64>,
     valid: Vec<bool>,
-    lru: LruStack,
+    lru: PackedLru,
     hit_penalty: u64,
 }
 
@@ -45,13 +45,14 @@ impl PageWalker {
         self.psc = Some(Psc {
             tags: vec![0; entries],
             valid: vec![false; entries],
-            lru: LruStack::new(entries),
+            lru: PackedLru::new(1, entries),
             hit_penalty,
         });
         self
     }
 
     /// Performs a walk for `vpn` and returns its cycle cost.
+    #[inline]
     pub fn walk(&mut self, vpn: u64) -> u64 {
         self.walks += 1;
         let cost = match &mut self.psc {
@@ -61,16 +62,16 @@ impl PageWalker {
                 let hit = (0..psc.tags.len()).find(|&i| psc.valid[i] && psc.tags[i] == pmd);
                 match hit {
                     Some(i) => {
-                        psc.lru.touch(i);
+                        psc.lru.touch(0, i);
                         psc.hit_penalty
                     }
                     None => {
                         let victim = (0..psc.tags.len())
                             .find(|&i| !psc.valid[i])
-                            .unwrap_or_else(|| psc.lru.lru());
+                            .unwrap_or_else(|| psc.lru.lru(0));
                         psc.tags[victim] = pmd;
                         psc.valid[victim] = true;
-                        psc.lru.touch(victim);
+                        psc.lru.touch(0, victim);
                         self.penalty
                     }
                 }

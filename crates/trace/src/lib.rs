@@ -34,7 +34,7 @@ pub mod suite;
 
 pub use codec::{read_trace, read_trace_packed, write_trace, write_trace_packed, CodecError};
 pub use gen::Category;
-pub use packed::{PackedTrace, PackedTraceBuilder, TraceSource};
+pub use packed::{PackedTrace, PackedTraceBuilder, TraceChunk, TraceChunks, TraceSource};
 pub use record::{BranchClass, InstrKind, TraceRecord};
 pub use stats::TraceStats;
 pub use suite::{BenchmarkSpec, SuiteConfig};

@@ -71,6 +71,21 @@ impl PackedTrace {
         PackedIter { trace: self, idx: 0, ea: 0, target: 0 }
     }
 
+    /// Iterates the trace as columnar [`TraceChunk`]s of at most
+    /// `chunk_size` records each. The chunks partition the trace in order:
+    /// concatenating the record sequence of every chunk reproduces
+    /// [`Self::iter`] exactly (tail chunk included; an empty trace yields
+    /// no chunks). Consumers stream the column slices directly instead of
+    /// materialising a [`TraceRecord`] per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    pub fn chunks(&self, chunk_size: usize) -> TraceChunks<'_> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        TraceChunks { trace: self, chunk_size, idx: 0, ea: 0, target: 0 }
+    }
+
     /// Unpacks into a flat record vector.
     pub fn to_records(&self) -> Vec<TraceRecord> {
         self.iter().collect()
@@ -228,6 +243,216 @@ impl Iterator for PackedIter<'_> {
 
 impl ExactSizeIterator for PackedIter<'_> {}
 
+/// One columnar window of a [`PackedTrace`]: struct-of-arrays slices over
+/// a contiguous run of records, produced by [`PackedTrace::chunks`].
+///
+/// `pcs` and `kinds` have one element per record. `eas` and `targets`
+/// hold side-table entries for exactly the memory / branch records of this
+/// chunk, in record order — a consumer walking `kinds` advances its own
+/// cursor into each. `taken(i)` reads record `i`'s taken bit (defined for
+/// every record, exactly as [`PackedIter`] yields it).
+#[derive(Debug, Clone, Copy)]
+pub struct TraceChunk<'a> {
+    /// Absolute index of the chunk's first record in the source trace
+    /// (addresses the shared taken bitset).
+    base: usize,
+    pcs: &'a [u64],
+    kinds: &'a [u8],
+    /// The whole trace's taken bitset words, indexed by absolute record
+    /// index.
+    taken: &'a [u64],
+    eas: &'a [u64],
+    targets: &'a [u64],
+}
+
+impl<'a> TraceChunk<'a> {
+    /// Number of records in the chunk.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// True when the chunk holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pcs.is_empty()
+    }
+
+    /// Per-record instruction addresses.
+    #[inline]
+    pub fn pcs(&self) -> &'a [u64] {
+        self.pcs
+    }
+
+    /// Per-record [`InstrKind`] discriminants.
+    #[inline]
+    pub fn kinds(&self) -> &'a [u8] {
+        self.kinds
+    }
+
+    /// Effective addresses of this chunk's memory records, in order.
+    #[inline]
+    pub fn eas(&self) -> &'a [u64] {
+        self.eas
+    }
+
+    /// Targets of this chunk's branch records, in order.
+    #[inline]
+    pub fn targets(&self) -> &'a [u64] {
+        self.targets
+    }
+
+    /// The taken bit of record `i` (chunk-relative).
+    #[inline]
+    pub fn taken(&self, i: usize) -> bool {
+        debug_assert!(i < self.len());
+        let idx = self.base + i;
+        self.taken[idx / 64] >> (idx % 64) & 1 != 0
+    }
+
+    /// Splits the chunk into the first `k` records and the rest, keeping
+    /// both halves' side tables consistent. Used by the simulator to open
+    /// the measured window when the warmup boundary falls inside a chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > self.len()`.
+    pub fn split_at(&self, k: usize) -> (TraceChunk<'a>, TraceChunk<'a>) {
+        let (mem, branch) = count_kinds(&self.kinds[..k]);
+        let head = TraceChunk {
+            base: self.base,
+            pcs: &self.pcs[..k],
+            kinds: &self.kinds[..k],
+            taken: self.taken,
+            eas: &self.eas[..mem],
+            targets: &self.targets[..branch],
+        };
+        let tail = TraceChunk {
+            base: self.base + k,
+            pcs: &self.pcs[k..],
+            kinds: &self.kinds[k..],
+            taken: self.taken,
+            eas: &self.eas[mem..],
+            targets: &self.targets[branch..],
+        };
+        (head, tail)
+    }
+
+    /// Iterates the chunk's records, materialising each from the columns —
+    /// the reference semantics the columnar consumers must match.
+    pub fn records(&self) -> ChunkRecords<'a> {
+        ChunkRecords { chunk: *self, idx: 0, ea: 0, target: 0 }
+    }
+}
+
+/// Iterator over the [`TraceChunk`]s of a trace; see
+/// [`PackedTrace::chunks`].
+#[derive(Debug, Clone)]
+pub struct TraceChunks<'a> {
+    trace: &'a PackedTrace,
+    chunk_size: usize,
+    idx: usize,
+    ea: usize,
+    target: usize,
+}
+
+impl<'a> Iterator for TraceChunks<'a> {
+    type Item = TraceChunk<'a>;
+
+    fn next(&mut self) -> Option<TraceChunk<'a>> {
+        let start = self.idx;
+        if start >= self.trace.len() {
+            return None;
+        }
+        let end = (start + self.chunk_size).min(self.trace.len());
+        let (mem, branch) = count_kinds(&self.trace.kinds[start..end]);
+        let chunk = TraceChunk {
+            base: start,
+            pcs: &self.trace.pcs[start..end],
+            kinds: &self.trace.kinds[start..end],
+            taken: &self.trace.taken,
+            eas: &self.trace.eas[self.ea..self.ea + mem],
+            targets: &self.trace.targets[self.target..self.target + branch],
+        };
+        self.idx = end;
+        self.ea += mem;
+        self.target += branch;
+        Some(chunk)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.trace.len() - self.idx).div_ceil(self.chunk_size);
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for TraceChunks<'_> {}
+
+/// Records that carry a side-table entry in `kinds`: (memory, branch).
+#[inline]
+fn count_kinds(kinds: &[u8]) -> (usize, usize) {
+    let mut mem = 0;
+    let mut branch = 0;
+    for &k in kinds {
+        let kind = InstrKind::from_u8(k).expect("builder stores only valid kind discriminants");
+        mem += usize::from(kind.is_memory());
+        branch += usize::from(kind.is_branch());
+    }
+    (mem, branch)
+}
+
+/// Iterator over one chunk's records; see [`TraceChunk::records`].
+#[derive(Debug, Clone)]
+pub struct ChunkRecords<'a> {
+    chunk: TraceChunk<'a>,
+    idx: usize,
+    ea: usize,
+    target: usize,
+}
+
+impl Iterator for ChunkRecords<'_> {
+    type Item = TraceRecord;
+
+    #[inline]
+    fn next(&mut self) -> Option<TraceRecord> {
+        let idx = self.idx;
+        if idx >= self.chunk.len() {
+            return None;
+        }
+        self.idx += 1;
+        let kind = InstrKind::from_u8(self.chunk.kinds[idx])
+            .expect("builder stores only valid kind discriminants");
+        let effective_address = if kind.is_memory() {
+            let ea = self.chunk.eas[self.ea];
+            self.ea += 1;
+            ea
+        } else {
+            0
+        };
+        let target = if kind.is_branch() {
+            let t = self.chunk.targets[self.target];
+            self.target += 1;
+            t
+        } else {
+            0
+        };
+        Some(TraceRecord {
+            pc: self.chunk.pcs[idx],
+            kind,
+            effective_address,
+            target,
+            taken: self.chunk.taken(idx),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.chunk.len() - self.idx;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for ChunkRecords<'_> {}
+
 /// Anything the simulator can replay: a length plus a record stream.
 ///
 /// Implemented for flat slices/vectors and for [`PackedTrace`], so
@@ -368,6 +593,43 @@ mod tests {
     }
 
     #[test]
+    fn chunks_partition_with_tail() {
+        let trace = mixed_trace(); // 8 records
+        let packed = PackedTrace::from_records(&trace);
+        let chunks: Vec<_> = packed.chunks(3).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks.iter().map(|c| c.len()).collect::<Vec<_>>(), vec![3, 3, 2]);
+        let rebuilt: Vec<TraceRecord> = chunks.iter().flat_map(|c| c.records()).collect();
+        assert_eq!(rebuilt, trace);
+    }
+
+    #[test]
+    fn chunks_of_empty_trace_yield_nothing() {
+        let packed = PackedTrace::from_records(&[]);
+        assert_eq!(packed.chunks(16).count(), 0);
+    }
+
+    #[test]
+    fn chunk_split_at_keeps_side_tables_consistent() {
+        let trace = mixed_trace();
+        let packed = PackedTrace::from_records(&trace);
+        let chunk = packed.chunks(trace.len()).next().expect("one chunk");
+        for k in 0..=trace.len() {
+            let (head, tail) = chunk.split_at(k);
+            assert_eq!(head.len(), k);
+            assert_eq!(tail.len(), trace.len() - k);
+            let rebuilt: Vec<TraceRecord> = head.records().chain(tail.records()).collect();
+            assert_eq!(rebuilt, trace, "split at {k} must not lose or shift records");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn zero_chunk_size_rejected() {
+        let _ = PackedTrace::from_records(&mixed_trace()).chunks(0);
+    }
+
+    #[test]
     fn trace_source_is_uniform_over_representations() {
         let trace = mixed_trace();
         let packed = PackedTrace::from_records(&trace);
@@ -414,6 +676,50 @@ mod tests {
             fn packed_never_exceeds_estimate(trace in vec(arb_record(), 0..300usize)) {
                 let packed = PackedTrace::from_records(&trace);
                 prop_assert!(packed.resident_bytes() <= PackedTrace::estimate_bytes(trace.len()));
+            }
+
+            /// The columnar-path equivalence satellite: chunked iteration
+            /// (any chunk size, tail chunks, empty traces) yields the
+            /// identical record sequence as the per-record `TraceSource`
+            /// path.
+            #[test]
+            fn chunked_iteration_matches_per_record_path(
+                trace in vec(arb_record(), 0..300usize),
+                chunk_size in 1usize..80,
+            ) {
+                let packed = PackedTrace::from_records(&trace);
+                let per_record: Vec<TraceRecord> = packed.records().collect();
+                let chunked: Vec<TraceRecord> =
+                    packed.chunks(chunk_size).flat_map(|c| c.records()).collect();
+                prop_assert_eq!(&chunked, &per_record);
+                prop_assert_eq!(&chunked, &trace);
+                // The chunks partition: lengths sum to the trace length and
+                // every chunk except possibly the last is full.
+                let lens: Vec<usize> = packed.chunks(chunk_size).map(|c| c.len()).collect();
+                prop_assert_eq!(lens.iter().sum::<usize>(), trace.len());
+                for (i, &l) in lens.iter().enumerate() {
+                    if i + 1 < lens.len() {
+                        prop_assert_eq!(l, chunk_size);
+                    } else {
+                        prop_assert!(l > 0 && l <= chunk_size);
+                    }
+                }
+            }
+
+            /// Splitting any chunk at any point preserves the sequence —
+            /// the warmup-boundary case the simulator relies on.
+            #[test]
+            fn chunk_split_preserves_sequence(
+                trace in vec(arb_record(), 1..200usize),
+                split in 0usize..200,
+            ) {
+                let packed = PackedTrace::from_records(&trace);
+                let chunk = packed.chunks(trace.len()).next().expect("non-empty");
+                let k = split % (trace.len() + 1);
+                let (head, tail) = chunk.split_at(k);
+                let rebuilt: Vec<TraceRecord> =
+                    head.records().chain(tail.records()).collect();
+                prop_assert_eq!(rebuilt, trace);
             }
         }
     }

@@ -1,24 +1,56 @@
 #!/usr/bin/env bash
-# Suite-runner performance benchmark: packed-trace scheduler vs the flat
-# benchwise baseline, 1 vs 8 threads, 4 benchmarks x 9 policies, plus an
-# epoch-telemetry variant guarding instrumentation overhead
-# (telemetry_overhead_8t in the trajectory line).
+# Performance benchmarks appending to the BENCH_runner.json trajectory:
+#
+#   1. suite_runner — packed-trace scheduler vs the flat benchwise
+#      baseline, 1 vs 8 threads, 4 benchmarks x 9 policies, plus an
+#      epoch-telemetry variant guarding instrumentation overhead
+#      (telemetry_overhead_8t in the trajectory line).
+#   2. sim_throughput — single-thread instructions/sec of the
+#      monomorphized columnar hot loop vs the legacy Box<dyn> per-record
+#      path (instr_per_sec_1t / instr_per_sec_1t_dyn).
 #
 #   scripts/bench.sh            run and append to BENCH_runner.json
 #   CHIRP_BENCH_OUT=out.json scripts/bench.sh     write elsewhere
 #
-# Each invocation appends one JSON line (median wall seconds and peak
-# resident trace bytes per configuration, plus the derived 8-thread
-# speedup and memory ratio), so the file accumulates a trajectory across
-# commits. Release profile: Criterion benches always build optimized.
+# Each bench appends one JSON line per invocation, so the file
+# accumulates a trajectory across commits. After running, the new
+# instr_per_sec_1t is compared against the previous sim_throughput line
+# and a >10% regression prints a loud warning (and exits non-zero under
+# CHIRP_BENCH_STRICT=1). Release profile: Criterion benches always build
+# optimized.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo bench -p chirp-bench --bench suite_runner "$@"
-
 out="${CHIRP_BENCH_OUT:-BENCH_runner.json}"
+
+extract_ips() {
+    # Last sim_throughput line's instr_per_sec_1t, empty if none.
+    [[ -f "$out" ]] || return 0
+    grep '"bench":"sim_throughput"' "$out" | tail -n 1 |
+        sed -n 's/.*"instr_per_sec_1t":\([0-9][0-9]*\).*/\1/p'
+}
+
+prev_ips="$(extract_ips)"
+
+cargo bench -p chirp-bench --bench suite_runner "$@"
+cargo bench -p chirp-bench --bench sim_throughput "$@"
+
 if [[ -f "$out" ]]; then
-    echo "==> latest trajectory line:"
-    tail -n 1 "$out"
+    echo "==> latest trajectory lines:"
+    tail -n 2 "$out"
+fi
+
+new_ips="$(extract_ips)"
+if [[ -n "$prev_ips" && -n "$new_ips" ]]; then
+    # Warn when the new throughput drops more than 10% below the
+    # previous recorded run on this machine.
+    if awk -v new="$new_ips" -v prev="$prev_ips" 'BEGIN { exit !(new < 0.9 * prev) }'; then
+        echo "WARNING: instr_per_sec_1t regressed >10%: $prev_ips -> $new_ips" >&2
+        if [[ "${CHIRP_BENCH_STRICT:-0}" == "1" ]]; then
+            exit 1
+        fi
+    else
+        echo "throughput guard: instr_per_sec_1t $prev_ips -> $new_ips (within 10%)"
+    fi
 fi
