@@ -4,7 +4,7 @@
 //! `run_all --benchmarks 870 --instructions 1_000_000` regenerates the
 //! committed EXPERIMENTS.md numbers.
 
-use chirp_bench::{print_scheduler_summary, render_policy_rollup, HarnessArgs};
+use chirp_bench::{exit_on_err, print_scheduler_summary, render_policy_rollup, HarnessArgs};
 use chirp_sim::experiments::{
     fig10_penalty, fig11_access_rate, fig1_efficiency, fig2_history, fig3_adaline, fig6_ablation,
     fig7_mpki, fig8_speedup, fig9_table_size,
@@ -35,18 +35,16 @@ fn main() {
         let (runs, series) = chirp_sim::run_suite_telemetry(&suite, &policies, &config, &telemetry);
         if telemetry.mode == TelemetryMode::Epochs {
             let path = args.telemetry_out.join("telemetry_epochs.jsonl");
-            match chirp_sim::write_series(&path, &series) {
-                Ok(()) => eprintln!(
-                    "[telemetry] {} unit series ({} epochs) -> {}",
-                    series.len(),
-                    series.iter().map(|u| u.rows.len()).sum::<usize>(),
-                    path.display()
-                ),
-                Err(e) => {
-                    eprintln!("error: cannot write telemetry series {}: {e}", path.display());
-                    std::process::exit(1);
-                }
-            }
+            exit_on_err(
+                chirp_sim::write_series(&path, &series),
+                format!("cannot write telemetry series {}", path.display()),
+            );
+            eprintln!(
+                "[telemetry] {} unit series ({} epochs) -> {}",
+                series.len(),
+                series.iter().map(|u| u.rows.len()).sum::<usize>(),
+                path.display()
+            );
         }
         println!("==== Telemetry (policy rollup) ====\n{}", render_policy_rollup(&series));
         runs

@@ -7,23 +7,28 @@
 //! trace_tool gen <index> <len> <out>  generate suite benchmark #index
 //! trace_tool stats <file>             decode a trace and print statistics
 //! trace_tool head <file> [N]          print the first N records
+//! trace_tool hash <file>              print the content address of a trace
 //! trace_tool pack <store> [N] [len]   materialise an N-benchmark suite
 //!                                     into the archive under <store>
 //! trace_tool verify <store>           checksum-audit the archive
 //! ```
 
 use chirp_bench::exit_on_err;
-use chirp_store::{ArchiveOutcome, TraceArchive};
+use chirp_store::{fnv64, hex16, ArchiveOutcome, TraceArchive};
 use chirp_trace::suite::{build_suite, nth_benchmark, SuiteConfig};
-use chirp_trace::{read_trace, write_trace, TraceStats};
+use chirp_trace::{peek_record_count, read_trace, write_trace, TraceStats};
 use std::path::Path;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  trace_tool list [N]\n  trace_tool gen <index> <len> <out.chrp>\n  \
          trace_tool stats <file.chrp>\n  trace_tool head <file.chrp> [N]\n  \
+         trace_tool hash <file.chrp>\n  \
          trace_tool pack <store-dir> [N] [len]   (defaults: N=96, len=1_000_000)\n  \
          trace_tool verify <store-dir>\n\n\
+         `hash` prints the FNV-1a content address of a packed trace file —\n\
+         the hash a `chirp-serve` upload is archived under, accepted by\n\
+         `chirp-client run --hash` to re-run it without re-uploading.\n\n\
          `pack` materialises every benchmark of an N-benchmark suite into the\n\
          content-addressed archive under <store-dir>/traces, skipping files\n\
          that are already present and valid. `verify` re-checksums every\n\
@@ -85,6 +90,21 @@ fn main() {
             for r in trace.iter().take(n) {
                 println!("{r:x?}");
             }
+        }
+        Some("hash") => {
+            let Some(file) = args.get(1) else { usage() };
+            let bytes = exit_on_err(std::fs::read(file), format!("cannot read trace {file}"));
+            // Validate the header so a typo'd path fails loudly instead of
+            // printing the hash of a non-trace file.
+            let records =
+                exit_on_err(peek_record_count(&bytes), format!("not a CHRP trace: {file}"));
+            println!(
+                "{}  {} ({} records, {} bytes)",
+                hex16(fnv64(&bytes)),
+                file,
+                records,
+                bytes.len()
+            );
         }
         Some("pack") => {
             let Some(store) = args.get(1) else { usage() };

@@ -1,0 +1,75 @@
+//! # chirp-serve
+//!
+//! A concurrent trace-ingest simulation service for the CHiRP
+//! reproduction: clients stream packed traces (or name archived ones by
+//! content hash) to a long-lived server, which resolves each request into
+//! (benchmark × policy) simulation units on the existing scheduler and
+//! answers with MPKI / policy-comparison verdicts.
+//!
+//! The service is deliberately built on blocking `std::net` sockets plus
+//! the worker threads the simulator already owns — the workspace is
+//! offline, so there is no async runtime to lean on, and none is needed:
+//! simulation is CPU-bound, sessions are few and long-lived, and one
+//! OS thread per session keeps the control flow linear (see DESIGN.md).
+//!
+//! Layers:
+//!
+//! * [`wire`] — length-prefixed framing and message codec;
+//! * [`server`] — the admission-controlled service itself;
+//! * [`client`] — blocking client library used by `chirp-client` and the
+//!   tests;
+//! * [`loadgen`] — closed-loop load generator measuring request
+//!   throughput and latency quantiles.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use chirp_serve::client::{Client, SubmitOutcome};
+//! use chirp_serve::server::{serve, ServeConfig};
+//! use chirp_trace::suite::{build_suite, SuiteConfig};
+//! use chirp_trace::write_trace_packed;
+//!
+//! let root = chirp_store::TempDir::new("serve-doc");
+//! let handle = serve(ServeConfig {
+//!     store: root.path().to_path_buf(),
+//!     ..ServeConfig::default()
+//! })
+//! .unwrap();
+//!
+//! let spec = &build_suite(&SuiteConfig { benchmarks: 1 })[0];
+//! let bytes = write_trace_packed(&spec.generate_packed(5_000));
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let outcome = client
+//!     .submit_bytes(&spec.name, spec.category.label(), spec.seed, &["lru".into()], false, &bytes)
+//!     .unwrap();
+//! match outcome {
+//!     SubmitOutcome::Verdict(v) => assert_eq!(v.best_policy, "lru"),
+//!     SubmitOutcome::Busy { .. } => unreachable!("empty server always admits"),
+//! }
+//! drop(client);
+//! handle.shutdown().unwrap();
+//! ```
+
+pub mod client;
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, SubmitOutcome};
+pub use loadgen::{run_load, LoadGenConfig, LoadReport};
+pub use server::{serve, ServeConfig, ServeError, ServerHandle};
+
+/// Unwraps a top-level fallible operation in one of this crate's
+/// binaries, printing a contextual error to stderr and exiting with
+/// status 1 instead of panicking with a backtrace. Mirrors the helper of
+/// the same name in `chirp-bench`: for operator-facing failures (refused
+/// connections, missing files) the message is the useful part.
+pub fn exit_on_err<T, E: std::fmt::Display>(result: Result<T, E>, context: impl AsRef<str>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {}: {e}", context.as_ref());
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Closed-loop load generator for `chirp-serve`.
+//!
+//! Spawns N concurrent sessions, each driving its own connection through
+//! a fixed number of submit requests over a small pool of synthetic
+//! benchmark traces (encoded once, up front, so generation cost stays
+//! out of the measurement). Sessions start together on a barrier;
+//! per-request wall latency lands in a log2 histogram, `Busy` answers
+//! are retried after the server's hint and counted, and the report
+//! carries requests/sec plus p50/p99 latency — the numbers
+//! `scripts/bench.sh` appends to the `BENCH_runner.json` trajectory.
+
+use crate::client::{Client, ClientError, SubmitOutcome};
+use chirp_telemetry::{Counter, HistogramSnapshot, Log2Histogram};
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use chirp_trace::write_trace_packed;
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// One pre-encoded pool entry: (benchmark name, category label, seed,
+/// packed `CHRP` bytes).
+type PoolEntry = (String, String, u64, Vec<u8>);
+
+/// Load-generator parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadGenConfig {
+    /// Data address of the server under test.
+    pub addr: SocketAddr,
+    /// Concurrent sessions (one connection + thread each).
+    pub sessions: usize,
+    /// Requests issued per session.
+    pub requests: usize,
+    /// Distinct synthetic benchmarks cycled through by the sessions.
+    pub benchmarks: usize,
+    /// Instructions per benchmark trace.
+    pub instructions: usize,
+    /// Policy lineup each request evaluates.
+    pub policies: Vec<String>,
+    /// Pause between trace chunk frames — stretches each upload's
+    /// admission hold so concurrent sessions contend with the budget.
+    pub chunk_delay: Option<Duration>,
+    /// `Busy` retries per request before giving up and counting the
+    /// request as dropped.
+    pub max_retries: usize,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            sessions: 2,
+            requests: 4,
+            benchmarks: 2,
+            instructions: 20_000,
+            policies: vec!["lru".to_string(), "chirp".to_string()],
+            chunk_delay: None,
+            max_retries: 20,
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests answered with a verdict.
+    pub ok: u64,
+    /// `Busy` answers observed (each retry that hit backpressure).
+    pub busy: u64,
+    /// Requests dropped after exhausting retries.
+    pub dropped: u64,
+    /// Requests failed with a transport or server error.
+    pub errors: u64,
+    /// Wall-clock time from barrier release to last session finish.
+    pub wall: Duration,
+    /// Per-request latency (milliseconds), successful requests only.
+    pub latency_ms: HistogramSnapshot,
+}
+
+impl LoadReport {
+    /// Successful requests per second over the measured wall time.
+    pub fn req_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ok as f64 / secs
+        }
+    }
+
+    /// Median request latency in milliseconds (bucket resolution).
+    pub fn p50_ms(&self) -> u64 {
+        self.latency_ms.quantile(0.5)
+    }
+
+    /// 99th-percentile request latency in milliseconds.
+    pub fn p99_ms(&self) -> u64 {
+        self.latency_ms.quantile(0.99)
+    }
+
+    /// One-line human-readable rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{} ok / {} busy / {} dropped / {} errors | {:.1} req/s | latency p50 {} ms / p99 {} \
+             ms | {:.2}s wall",
+            self.ok,
+            self.busy,
+            self.dropped,
+            self.errors,
+            self.req_per_sec(),
+            self.p50_ms(),
+            self.p99_ms(),
+            self.wall.as_secs_f64(),
+        )
+    }
+}
+
+/// Runs the load described by `config` against a live server. Returns
+/// after every session finishes; a session that cannot connect at all is
+/// the only hard error.
+pub fn run_load(config: &LoadGenConfig) -> Result<LoadReport, ClientError> {
+    // Encode the trace pool once, up front, shared read-only.
+    let suite = build_suite(&SuiteConfig { benchmarks: config.benchmarks.max(1) });
+    let pool: Arc<Vec<PoolEntry>> = Arc::new(
+        suite
+            .iter()
+            .map(|spec| {
+                let bytes = write_trace_packed(&spec.generate_packed(config.instructions));
+                (spec.name.clone(), spec.category.label().to_string(), spec.seed, bytes)
+            })
+            .collect(),
+    );
+
+    let sessions = config.sessions.max(1);
+    // Connect every session before the clock starts, so connection setup
+    // is not measured and all sessions really overlap.
+    let mut clients = Vec::with_capacity(sessions);
+    for _ in 0..sessions {
+        let mut client = Client::connect(config.addr)?;
+        client.chunk_delay = config.chunk_delay;
+        clients.push(client);
+    }
+
+    let barrier = Barrier::new(sessions + 1);
+    let ok = Counter::new();
+    let busy = Counter::new();
+    let dropped = Counter::new();
+    let errors = Counter::new();
+    let latency = Log2Histogram::new();
+
+    let mut started = Instant::now();
+    std::thread::scope(|scope| {
+        for (session_idx, mut client) in clients.into_iter().enumerate() {
+            let barrier = &barrier;
+            let pool = Arc::clone(&pool);
+            let (ok, busy, dropped, errors, latency) = (&ok, &busy, &dropped, &errors, &latency);
+            scope.spawn(move || {
+                barrier.wait();
+                for request_idx in 0..config.requests {
+                    // Stripe the pool so concurrent sessions mix cache
+                    // hits and fresh simulations.
+                    let (name, category, seed, bytes) =
+                        &pool[(session_idx + request_idx) % pool.len()];
+                    let begun = Instant::now();
+                    let mut attempts = 0usize;
+                    loop {
+                        match client.submit_bytes(
+                            name,
+                            category,
+                            *seed,
+                            &config.policies,
+                            false,
+                            bytes,
+                        ) {
+                            Ok(SubmitOutcome::Verdict(_)) => {
+                                ok.inc();
+                                latency.record(begun.elapsed().as_millis() as u64);
+                                break;
+                            }
+                            Ok(SubmitOutcome::Busy { retry_after_ms, .. }) => {
+                                busy.inc();
+                                attempts += 1;
+                                if attempts > config.max_retries {
+                                    dropped.inc();
+                                    break;
+                                }
+                                std::thread::sleep(Duration::from_millis(u64::from(
+                                    retry_after_ms.max(1),
+                                )));
+                            }
+                            Err(_) => {
+                                errors.inc();
+                                break;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        // Release the sessions and start the clock only once all of them
+        // are poised at the barrier.
+        started = Instant::now();
+        barrier.wait();
+    });
+    let wall = started.elapsed();
+
+    Ok(LoadReport {
+        ok: ok.value(),
+        busy: busy.value(),
+        dropped: dropped.value(),
+        errors: errors.value(),
+        wall,
+        latency_ms: latency.snapshot(),
+    })
+}

@@ -61,6 +61,30 @@ impl PolicyKind {
         }
     }
 
+    /// Parses a policy from its command-line/wire spelling: every
+    /// [`name`](Self::name) plus `chirp-p<N>` for a CHiRP variant with
+    /// path length `N` (the spelling `policy_label` in `chirp-bench`
+    /// prints). The inverse of the display names, so tools can round-trip
+    /// a lineup through text.
+    pub fn parse(name: &str) -> Option<PolicyKind> {
+        match name {
+            "lru" => Some(PolicyKind::Lru),
+            "random" => Some(PolicyKind::Random),
+            "srrip" => Some(PolicyKind::Srrip),
+            "ship" => Some(PolicyKind::Ship),
+            "ghrp" => Some(PolicyKind::Ghrp),
+            "chirp" => Some(PolicyKind::Chirp(ChirpConfig::default())),
+            "drrip" => Some(PolicyKind::Drrip),
+            "perceptron" => Some(PolicyKind::PerceptronReuse),
+            other => {
+                let path_length: u32 = other.strip_prefix("chirp-p")?.parse().ok()?;
+                let config = ChirpConfig { path_length, ..ChirpConfig::default() };
+                config.validate().ok()?;
+                Some(PolicyKind::Chirp(config))
+            }
+        }
+    }
+
     /// Instantiates the policy for `geometry`. `seed` feeds randomised
     /// policies so whole-suite runs stay reproducible.
     pub fn build(&self, geometry: TlbGeometry, seed: u64) -> Box<dyn TlbReplacementPolicy> {
@@ -216,6 +240,24 @@ mod tests {
             let policy = kind.build(geom, 0);
             assert_eq!(policy.name(), kind.name());
         }
+    }
+
+    #[test]
+    fn parse_inverts_every_display_name() {
+        let mut lineup = PolicyKind::paper_lineup();
+        lineup.push(PolicyKind::Drrip);
+        lineup.push(PolicyKind::PerceptronReuse);
+        for kind in &lineup {
+            assert_eq!(PolicyKind::parse(kind.name()).as_ref(), Some(kind));
+        }
+        assert_eq!(
+            PolicyKind::parse("chirp-p8"),
+            Some(PolicyKind::Chirp(ChirpConfig { path_length: 8, ..ChirpConfig::default() }))
+        );
+        assert_eq!(PolicyKind::parse("belady"), None);
+        assert_eq!(PolicyKind::parse("chirp-p"), None);
+        assert_eq!(PolicyKind::parse("chirp-p0"), None, "invalid config must not parse");
+        assert_eq!(PolicyKind::parse(""), None);
     }
 
     #[test]

@@ -321,6 +321,35 @@ impl Registry {
         }
     }
 
+    /// Renders the current snapshot as one `name value` line per metric —
+    /// counters as their sum, gauges as `value (peak P)`, histograms as
+    /// `p50/p99 (N samples)`. The format `chirp-serve` returns for a
+    /// `Stats` request, stable enough to grep in smoke tests.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in self.snapshot() {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Gauge(v, peak) => {
+                    let _ = writeln!(out, "{name} {v} (peak {peak})");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{name} p50 {} / p99 {} ({} samples)",
+                        h.quantile(0.5),
+                        h.quantile(0.99),
+                        h.total()
+                    );
+                }
+            }
+        }
+        out
+    }
+
     /// Reads every registered metric, in registration order.
     pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
         let metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());

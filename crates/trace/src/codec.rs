@@ -228,6 +228,27 @@ pub fn read_trace(data: &[u8]) -> Result<Vec<TraceRecord>, CodecError> {
 /// # Errors
 ///
 /// Same failure modes as [`read_trace`].
+/// Reads the record count out of a `CHRP` header without decoding any
+/// records — lets a client declare a trace's size (for server-side
+/// admission control) from the first 13 bytes of the file.
+///
+/// # Errors
+///
+/// Rejects buffers whose header is truncated, carries the wrong magic or
+/// an unsupported version. The records themselves are not validated.
+pub fn peek_record_count(data: &[u8]) -> Result<u64, CodecError> {
+    if data.len() < 4 + 1 + 8 {
+        return Err(CodecError::Truncated);
+    }
+    if &data[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    if data[4] != VERSION {
+        return Err(CodecError::UnsupportedVersion(data[4]));
+    }
+    Ok(u64::from_le_bytes(data[5..13].try_into().expect("8-byte slice")))
+}
+
 pub fn read_trace_packed(data: &[u8]) -> Result<PackedTrace, CodecError> {
     let mut decoder = Decoder::new(data)?;
     let mut builder = PackedTraceBuilder::with_capacity(decoder.remaining);
@@ -335,6 +356,22 @@ mod tests {
         for cut in 0..bytes.len() {
             assert!(read_trace_packed(&bytes[..cut]).is_err());
         }
+    }
+
+    #[test]
+    fn peek_reads_count_without_decoding() {
+        let trace = vec![TraceRecord::alu(0x400000), TraceRecord::load(0x400004, 0x7000)];
+        let bytes = write_trace(&trace);
+        assert_eq!(peek_record_count(&bytes), Ok(2));
+        // Header-only prefix still answers; shorter prefixes are truncated.
+        assert_eq!(peek_record_count(&bytes[..13]), Ok(2));
+        assert_eq!(peek_record_count(&bytes[..12]), Err(CodecError::Truncated));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(peek_record_count(&bad), Err(CodecError::BadMagic));
+        let mut bad = bytes;
+        bad[4] = 7;
+        assert_eq!(peek_record_count(&bad), Err(CodecError::UnsupportedVersion(7)));
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub mod record;
 pub mod stats;
 pub mod suite;
 
-pub use codec::{read_trace, read_trace_packed, write_trace, write_trace_packed, CodecError};
+pub use codec::{
+    peek_record_count, read_trace, read_trace_packed, write_trace, write_trace_packed, CodecError,
+};
 pub use gen::Category;
 pub use packed::{PackedTrace, PackedTraceBuilder, TraceChunk, TraceChunks, TraceSource};
 pub use record::{BranchClass, InstrKind, TraceRecord};

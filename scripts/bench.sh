@@ -8,6 +8,9 @@
 #   2. sim_throughput — single-thread instructions/sec of the
 #      monomorphized columnar hot loop vs the legacy Box<dyn> per-record
 #      path (instr_per_sec_1t / instr_per_sec_1t_dyn).
+#   3. serve_loadgen — end-to-end request throughput of chirp-serve under
+#      concurrent submit sessions against a spawned in-process server
+#      (serve_req_per_sec / serve_p50_ms / serve_p99_ms).
 #
 #   scripts/bench.sh            run and append to BENCH_runner.json
 #   CHIRP_BENCH_OUT=out.json scripts/bench.sh     write elsewhere
@@ -31,26 +34,43 @@ extract_ips() {
         sed -n 's/.*"instr_per_sec_1t":\([0-9][0-9]*\).*/\1/p'
 }
 
-prev_ips="$(extract_ips)"
+extract_serve() {
+    # Last serve_loadgen line's serve_req_per_sec, empty if none.
+    [[ -f "$out" ]] || return 0
+    grep '"bench":"serve_loadgen"' "$out" | tail -n 1 |
+        sed -n 's/.*"serve_req_per_sec":\([0-9][0-9]*\).*/\1/p'
+}
 
-cargo bench -p chirp-bench --bench suite_runner "$@"
-cargo bench -p chirp-bench --bench sim_throughput "$@"
-
-if [[ -f "$out" ]]; then
-    echo "==> latest trajectory lines:"
-    tail -n 2 "$out"
-fi
-
-new_ips="$(extract_ips)"
-if [[ -n "$prev_ips" && -n "$new_ips" ]]; then
-    # Warn when the new throughput drops more than 10% below the
-    # previous recorded run on this machine.
-    if awk -v new="$new_ips" -v prev="$prev_ips" 'BEGIN { exit !(new < 0.9 * prev) }'; then
-        echo "WARNING: instr_per_sec_1t regressed >10%: $prev_ips -> $new_ips" >&2
+# Warn when a metric drops more than 10% below the previous recorded run
+# on this machine; exits non-zero under CHIRP_BENCH_STRICT=1.
+guard() {
+    local name="$1" prev="$2" new="$3"
+    [[ -n "$prev" && -n "$new" ]] || return 0
+    if awk -v new="$new" -v prev="$prev" 'BEGIN { exit !(new < 0.9 * prev) }'; then
+        echo "WARNING: $name regressed >10%: $prev -> $new" >&2
         if [[ "${CHIRP_BENCH_STRICT:-0}" == "1" ]]; then
             exit 1
         fi
     else
-        echo "throughput guard: instr_per_sec_1t $prev_ips -> $new_ips (within 10%)"
+        echo "throughput guard: $name $prev -> $new (within 10%)"
     fi
+}
+
+prev_ips="$(extract_ips)"
+prev_serve="$(extract_serve)"
+
+cargo bench -p chirp-bench --bench suite_runner "$@"
+cargo bench -p chirp-bench --bench sim_throughput "$@"
+
+echo "==> serve_loadgen (end-to-end chirp-serve throughput)"
+cargo run --release -q -p chirp-serve --bin loadgen -- \
+    --spawn --sessions 4 --requests 8 --benchmarks 4 --instructions 50_000 \
+    --bench-out "$out"
+
+if [[ -f "$out" ]]; then
+    echo "==> latest trajectory lines:"
+    tail -n 3 "$out"
 fi
+
+guard instr_per_sec_1t "$prev_ips" "$(extract_ips)"
+guard serve_req_per_sec "$prev_serve" "$(extract_serve)"

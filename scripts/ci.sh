@@ -34,13 +34,44 @@ cargo bench --workspace --no-run
 
 echo "==> telemetry smoke (tiny epoch run + report round-trip)"
 smoke_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir"' EXIT
+serve_pid=""
+trap 'if [[ -n "$serve_pid" ]]; then kill "$serve_pid" 2>/dev/null || true; fi; rm -rf "$smoke_dir"' EXIT
 cargo run --release -q -p chirp-bench --bin run_all -- \
     --benchmarks 2 --instructions 20_000 --threads 2 \
     --telemetry epochs --epoch-instructions 5_000 \
     --telemetry-out "$smoke_dir" > "$smoke_dir/run_all.out"
 test -s "$smoke_dir/telemetry_epochs.jsonl"
+# Buffer the report before grepping: `grep -q` exits on first match and
+# would close the pipe mid-write, crashing the reporter with SIGPIPE.
 cargo run --release -q -p chirp-bench --bin telemetry_report -- \
-    --input "$smoke_dir/telemetry_epochs.jsonl" | grep -q "Per-policy rollup"
+    --input "$smoke_dir/telemetry_epochs.jsonl" > "$smoke_dir/report.out"
+grep -q "Per-policy rollup" "$smoke_dir/report.out"
+
+echo "==> chirp-serve smoke (submit, archived re-run, graceful shutdown)"
+cargo build --release -q -p chirp-serve -p chirp-bench
+serve_log="$smoke_dir/serve.log"
+target/release/chirp-serve --bind 127.0.0.1:0 --store "$smoke_dir/serve-store" > "$serve_log" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$serve_log" 2>/dev/null && break
+    sleep 0.1
+done
+data_addr="$(sed -n 's/.*listening on \([0-9.:]*\) (control \([0-9.:]*\)).*/\1/p' "$serve_log")"
+ctrl_addr="$(sed -n 's/.*listening on \([0-9.:]*\) (control \([0-9.:]*\)).*/\2/p' "$serve_log")"
+test -n "$data_addr" && test -n "$ctrl_addr"
+target/release/trace_tool gen 0 20_000 "$smoke_dir/smoke.chrp" > /dev/null
+smoke_hash="$(target/release/trace_tool hash "$smoke_dir/smoke.chrp" | awk '{print $1}')"
+target/release/chirp-client ping --addr "$data_addr" > /dev/null
+# Submit simulates; the archived re-run of the same content hash (same
+# default name/seed) must answer entirely from the run ledger.
+target/release/chirp-client submit --addr "$data_addr" \
+    --file "$smoke_dir/smoke.chrp" --policies lru,chirp > "$smoke_dir/submit.out"
+grep -q "best:" "$smoke_dir/submit.out"
+target/release/chirp-client run --addr "$data_addr" \
+    --hash "$smoke_hash" --policies lru,chirp > "$smoke_dir/rerun.out"
+grep -q "ledger" "$smoke_dir/rerun.out"
+target/release/chirp-client shutdown --addr "$ctrl_addr" > /dev/null
+wait "$serve_pid"
+serve_pid=""
 
 echo "ci: all checks passed"
