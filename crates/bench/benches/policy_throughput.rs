@@ -16,7 +16,7 @@ fn bench_policies(c: &mut Criterion) {
     for policy in PolicyKind::paper_lineup() {
         group.bench_function(policy.name(), |b| {
             b.iter_batched(
-                || Simulator::new(&config, policy.build(config.tlb.l2, 0)),
+                || Simulator::with_policy(&config, policy.build_dispatch(config.tlb.l2, 0)),
                 |mut sim| sim.run(&trace, 0.5),
                 BatchSize::LargeInput,
             );

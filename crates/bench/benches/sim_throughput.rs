@@ -1,19 +1,19 @@
 //! Single-thread simulation throughput: the monomorphized columnar hot
 //! loop (`Simulator::with_policy` over `PolicyDispatch` +
-//! `run_columnar`) against the legacy dynamic-dispatch per-record path
-//! (`Simulator::new` over `Box<dyn TlbReplacementPolicy>` + `run`), per
-//! policy, in instructions per second.
+//! `run_columnar`) and the multi-lane software-pipelined engine
+//! (`run_columnar_lanes`) at lane widths 2/4/8, per policy and over the
+//! whole (benchmark × policy) matrix, in instructions per second.
 //!
 //! Besides the Criterion lines, appends one JSON object to
 //! `BENCH_runner.json` at the workspace root (override with
-//! `CHIRP_BENCH_OUT`) carrying `instr_per_sec_1t` — the headline
-//! single-thread throughput of the new path over the whole suite — plus
-//! the legacy path's `instr_per_sec_1t_dyn` and the derived
-//! `columnar_speedup`. `scripts/bench.sh` compares `instr_per_sec_1t`
-//! against the previous line and warns on >10% regressions.
+//! `CHIRP_BENCH_OUT`) carrying `instr_per_sec_1t` — the lanes=1
+//! sequential baseline — plus `instr_per_sec_1t_lanes{2,4,8}` and the
+//! derived `best_lanes`/`lane_speedup`. `scripts/bench.sh` compares the
+//! best-lane number against the previous line and warns on >10%
+//! regressions.
 
 use chirp_bench::{lineup9, policy_label};
-use chirp_sim::{PolicyKind, SimConfig, Simulator};
+use chirp_sim::{run_columnar_lanes, LaneUnit, PolicyKind, SimConfig, Simulator};
 use chirp_trace::suite::{build_suite, BenchmarkSpec, SuiteConfig};
 use chirp_trace::PackedTrace;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
@@ -22,38 +22,56 @@ use std::time::Instant;
 
 const BENCHMARKS: usize = 4;
 const INSTRUCTIONS: usize = 60_000;
-
-fn run_legacy(config: &SimConfig, policy: &PolicyKind, trace: &PackedTrace, seed: u64) -> u64 {
-    let mut sim = Simulator::new(config, policy.build(config.tlb.l2, seed));
-    sim.run(trace, config.warmup_fraction).instructions
-}
+/// Lane widths swept for the trajectory file, lanes=1 first.
+const LANES: [usize; 4] = [1, 2, 4, 8];
 
 fn run_columnar(config: &SimConfig, policy: &PolicyKind, trace: &PackedTrace, seed: u64) -> u64 {
     let mut sim = Simulator::with_policy(config, policy.build_dispatch(config.tlb.l2, seed));
     sim.run_columnar(trace, config.warmup_fraction).instructions
 }
 
-/// Instructions per second over the whole (benchmark × policy) matrix,
-/// best of `reps` sweeps so a scheduler hiccup cannot sink the number.
+/// The whole matrix as lane units, in suite × policy order.
+fn matrix_units<'t>(
+    suite: &'t [(BenchmarkSpec, PackedTrace)],
+    policies: &[PolicyKind],
+    config: &SimConfig,
+) -> Vec<LaneUnit<'t, chirp_sim::PolicyDispatch>> {
+    let mut units = Vec::with_capacity(suite.len() * policies.len());
+    for (bench, trace) in suite {
+        for policy in policies {
+            units.push(LaneUnit::new(
+                Simulator::with_policy(config, policy.build_dispatch(config.tlb.l2, bench.seed)),
+                trace,
+                config.warmup_fraction,
+            ));
+        }
+    }
+    units
+}
+
+/// Instructions per second over the whole (benchmark × policy) matrix at
+/// the given lane width, best of `reps` sweeps so a scheduler hiccup
+/// cannot sink the number. `lanes == 1` measures the sequential
+/// `run_columnar` baseline path itself, not the lane engine at width 1.
 fn matrix_instr_per_sec(
     suite: &[(BenchmarkSpec, PackedTrace)],
     policies: &[PolicyKind],
     config: &SimConfig,
-    columnar: bool,
+    lanes: usize,
     reps: usize,
 ) -> f64 {
     let total: u64 = (suite.len() * policies.len()) as u64 * INSTRUCTIONS as u64;
     let mut best = 0.0f64;
     for _ in 0..reps {
         let t0 = Instant::now();
-        for (bench, trace) in suite {
-            for policy in policies {
-                if columnar {
+        if lanes == 1 {
+            for (bench, trace) in suite {
+                for policy in policies {
                     run_columnar(config, policy, trace, bench.seed);
-                } else {
-                    run_legacy(config, policy, trace, bench.seed);
                 }
             }
+        } else {
+            run_columnar_lanes(matrix_units(suite, policies, config), lanes);
         }
         best = best.max(total as f64 / t0.elapsed().as_secs_f64().max(1e-9));
     }
@@ -72,8 +90,9 @@ fn bench_sim_throughput(c: &mut Criterion) {
             })
             .collect();
 
-    // Per-policy Criterion lines on the first benchmark's trace: columnar
-    // (the shipping path) and the legacy dyn path side by side.
+    // Per-policy Criterion lines on the first benchmark's trace: the
+    // sequential columnar path and a 4-lane interleave of four identical
+    // units (per-lane throughput, so the speedup reads directly).
     let (bench0, trace0) = &suite[0];
     let mut group = c.benchmark_group("sim_throughput");
     group.sample_size(10);
@@ -92,33 +111,54 @@ fn bench_sim_throughput(c: &mut Criterion) {
                 BatchSize::LargeInput,
             );
         });
-        group.bench_function(&format!("dyn/{label}"), |b| {
+        group.bench_function(&format!("lanes4/{label}"), |b| {
             b.iter_batched(
-                || Simulator::new(&config, policy.build(config.tlb.l2, bench0.seed)),
-                |mut sim| sim.run(trace0, config.warmup_fraction),
+                || {
+                    (0..4)
+                        .map(|_| {
+                            LaneUnit::new(
+                                Simulator::with_policy(
+                                    &config,
+                                    policy.build_dispatch(config.tlb.l2, bench0.seed),
+                                ),
+                                trace0,
+                                config.warmup_fraction,
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                },
+                |units| run_columnar_lanes(units, 4),
                 BatchSize::LargeInput,
             );
         });
     }
     group.finish();
 
-    // Headline numbers for the trajectory file: whole-matrix throughput.
-    let instr_per_sec_1t = matrix_instr_per_sec(&suite, &policies, &config, true, 3);
-    let instr_per_sec_1t_dyn = matrix_instr_per_sec(&suite, &policies, &config, false, 3);
-    let columnar_speedup = instr_per_sec_1t / instr_per_sec_1t_dyn.max(1e-9);
+    // Headline numbers for the trajectory file: whole-matrix throughput
+    // across the lane sweep.
+    let sweep: Vec<f64> =
+        LANES.iter().map(|&l| matrix_instr_per_sec(&suite, &policies, &config, l, 3)).collect();
+    let (best_idx, best) =
+        sweep.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("non-empty sweep");
+    let lane_speedup = best / sweep[0].max(1e-9);
+    for (&lanes, ips) in LANES.iter().zip(&sweep) {
+        println!("sim_throughput: lanes={lanes} {ips:.0} instr/s");
+    }
     println!(
-        "sim_throughput: columnar {:.0} instr/s vs dyn {:.0} instr/s ({columnar_speedup:.2}x)",
-        instr_per_sec_1t, instr_per_sec_1t_dyn
+        "sim_throughput: best lanes={} ({best:.0} instr/s, {lane_speedup:.2}x over sequential)",
+        LANES[best_idx]
     );
-    write_trajectory(instr_per_sec_1t, instr_per_sec_1t_dyn, columnar_speedup);
+    write_trajectory(&sweep, LANES[best_idx], lane_speedup);
 }
 
-fn write_trajectory(instr_per_sec_1t: f64, instr_per_sec_1t_dyn: f64, columnar_speedup: f64) {
+fn write_trajectory(sweep: &[f64], best_lanes: usize, lane_speedup: f64) {
     let line = format!(
         "{{\"bench\":\"sim_throughput\",\"benchmarks\":{BENCHMARKS},\"policies\":9,\
-         \"instructions\":{INSTRUCTIONS},\"instr_per_sec_1t\":{instr_per_sec_1t:.0},\
-         \"instr_per_sec_1t_dyn\":{instr_per_sec_1t_dyn:.0},\
-         \"columnar_speedup\":{columnar_speedup:.3}}}"
+         \"instructions\":{INSTRUCTIONS},\"instr_per_sec_1t\":{:.0},\
+         \"instr_per_sec_1t_lanes2\":{:.0},\"instr_per_sec_1t_lanes4\":{:.0},\
+         \"instr_per_sec_1t_lanes8\":{:.0},\"best_lanes\":{best_lanes},\
+         \"lane_speedup\":{lane_speedup:.3}}}",
+        sweep[0], sweep[1], sweep[2], sweep[3]
     );
     let path = std::env::var_os("CHIRP_BENCH_OUT").map(PathBuf::from).unwrap_or_else(|| {
         // crates/bench/Cargo.toml -> workspace root is two levels up.

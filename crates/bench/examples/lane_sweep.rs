@@ -1,0 +1,65 @@
+//! Quick lane-width sweep over the sim_throughput matrix, without the
+//! Criterion harness — for iterating on the lane engine's hot loop.
+//!
+//!     cargo run --release -p chirp-bench --example lane_sweep [max_lanes]
+
+use chirp_bench::lineup9;
+use chirp_sim::{run_columnar_lanes, LaneUnit, SimConfig, Simulator};
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use chirp_trace::PackedTrace;
+use std::time::Instant;
+
+const BENCHMARKS: usize = 4;
+const INSTRUCTIONS: usize = 60_000;
+const REPS: usize = 3;
+
+fn main() {
+    let max_lanes: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let config = SimConfig::default();
+    let policies = lineup9();
+    let suite: Vec<(u64, PackedTrace)> = build_suite(&SuiteConfig { benchmarks: BENCHMARKS })
+        .into_iter()
+        .map(|b| (b.seed, b.generate_packed(INSTRUCTIONS)))
+        .collect();
+    let total = (suite.len() * policies.len() * INSTRUCTIONS) as f64;
+
+    // Sequential run_columnar baseline (what lanes=1 records in the
+    // trajectory file).
+    let mut best = 0.0f64;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        for (seed, trace) in &suite {
+            for p in &policies {
+                let mut sim =
+                    Simulator::with_policy(&config, p.build_dispatch(config.tlb.l2, *seed));
+                sim.run_columnar(trace, config.warmup_fraction);
+            }
+        }
+        best = best.max(total / t0.elapsed().as_secs_f64().max(1e-9));
+    }
+    println!("seq      {:.1}M instr/s", best / 1e6);
+
+    let mut lanes = 1;
+    while lanes <= max_lanes {
+        let mut best = 0.0f64;
+        for _ in 0..REPS {
+            let units: Vec<LaneUnit<chirp_sim::PolicyDispatch>> = suite
+                .iter()
+                .flat_map(|(seed, trace)| {
+                    policies.iter().map(move |p| {
+                        LaneUnit::new(
+                            Simulator::with_policy(&config, p.build_dispatch(config.tlb.l2, *seed)),
+                            trace,
+                            config.warmup_fraction,
+                        )
+                    })
+                })
+                .collect();
+            let t0 = Instant::now();
+            run_columnar_lanes(units, lanes);
+            best = best.max(total / t0.elapsed().as_secs_f64().max(1e-9));
+        }
+        println!("lanes={lanes:2}  {:.1}M instr/s", best / 1e6);
+        lanes *= 2;
+    }
+}

@@ -21,47 +21,63 @@ fn main() {
         let br = records.iter().filter(|r| r.kind.branch_class().is_some()).count();
 
         // Full run.
-        let t0 = Instant::now();
-        let mut sim = Simulator::with_policy(
-            &config,
-            PolicyKind::Lru.build_dispatch(config.tlb.l2, bench.seed),
-        );
-        black_box(sim.run_columnar(&trace, 0.5));
-        let full = t0.elapsed();
+        let mut full = std::time::Duration::MAX;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            let mut sim = Simulator::with_policy(
+                &config,
+                PolicyKind::Lru.build_dispatch(config.tlb.l2, bench.seed),
+            );
+            black_box(sim.run_columnar(&trace, 0.5));
+            full = full.min(t0.elapsed());
+        }
 
         // Iteration only.
-        let t0 = Instant::now();
-        let mut acc = 0u64;
-        for chunk in trace.chunks(4096) {
-            for rec in chunk.records() {
-                acc = acc.wrapping_add(rec.pc ^ rec.effective_address ^ rec.target);
+        let mut iter_only = std::time::Duration::MAX;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            let mut acc = 0u64;
+            for chunk in trace.chunks(4096) {
+                for rec in chunk.records() {
+                    acc = acc.wrapping_add(rec.pc ^ rec.effective_address ^ rec.target);
+                }
             }
+            black_box(acc);
+            iter_only = iter_only.min(t0.elapsed());
         }
-        black_box(acc);
-        let iter_only = t0.elapsed();
 
         // Branch unit only.
-        let t0 = Instant::now();
-        let mut bu = BranchUnit::new(BranchConfig::default());
-        let mut acc = 0u64;
-        for rec in &records {
-            acc += bu.observe(rec);
+        let mut branch_only = std::time::Duration::MAX;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            let mut bu = BranchUnit::new(BranchConfig::default());
+            let mut acc = 0u64;
+            for rec in &records {
+                acc += bu.observe(rec);
+            }
+            black_box(acc);
+            branch_only = branch_only.min(t0.elapsed());
         }
-        black_box(acc);
-        let branch_only = t0.elapsed();
 
         // Memory hierarchy only (fetch + data).
-        let t0 = Instant::now();
+        let mut mem_only = std::time::Duration::MAX;
         let mut mh = MemoryHierarchy::new(HierarchyConfig::default());
-        let mut acc = 0u64;
-        for rec in &records {
-            acc += mh.fetch(rec.pc);
-            if rec.kind.is_memory() {
-                acc += mh.load(rec.effective_address);
+        for rep in 0..5 {
+            let t0 = Instant::now();
+            let mut fresh = MemoryHierarchy::new(HierarchyConfig::default());
+            let mut acc = 0u64;
+            for rec in &records {
+                acc += fresh.fetch(rec.pc);
+                if rec.kind.is_memory() {
+                    acc += fresh.load(rec.effective_address);
+                }
+            }
+            black_box(acc);
+            mem_only = mem_only.min(t0.elapsed());
+            if rep == 0 {
+                mh = fresh;
             }
         }
-        black_box(acc);
-        let mem_only = t0.elapsed();
 
         let (l1i, l1d, l2, l3) = mh.stats();
         println!(

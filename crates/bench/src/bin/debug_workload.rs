@@ -5,6 +5,7 @@
 //! Usage: `debug_workload <ctxcopy|scanidx|crypto|stencil|spec|web|chase|gups> [len]`
 
 use chirp_sim::{PolicyKind, SimConfig, Simulator};
+use chirp_tlb::TlbReplacementPolicy;
 use chirp_trace::gen::{
     ContextCopy, CryptoStream, Gups, PointerChase, ScanIndex, SpecLoops, TiledStencil, WebServe,
     WorkloadGen,
@@ -50,7 +51,7 @@ fn main() {
     );
     let config = SimConfig::default();
     for policy in PolicyKind::paper_lineup() {
-        let mut sim = Simulator::new(&config, policy.build(config.tlb.l2, 0));
+        let mut sim = Simulator::with_policy(&config, policy.build_dispatch(config.tlb.l2, 0));
         let r = sim.run(&trace, config.warmup_fraction);
         println!(
             "  {:<8} MPKI {:>8.3}  IPC {:.4}  eff {:.3}  tbl-rate {:.3}  dead-evict {:>8}",

@@ -6,6 +6,7 @@ use chirp_bench::{lineup9, policy_label, HarnessArgs};
 use chirp_sim::report::Table;
 use chirp_sim::run_suite;
 use chirp_sim::runner::group_by_benchmark;
+use chirp_tlb::TlbReplacementPolicy;
 use chirp_trace::suite::{build_suite, SuiteConfig};
 use std::path::Path;
 
@@ -30,7 +31,7 @@ fn main() {
     let mut csv = Table::new(["policy", "mean_mpki", "reduction_vs_lru", "storage_bytes"]);
     for (i, kind) in policies.iter().enumerate() {
         let m = sums[i] / n;
-        let storage = kind.build(config.sim.tlb.l2, 0).storage().total_bytes();
+        let storage = kind.build_dispatch(config.sim.tlb.l2, 0).storage().total_bytes();
         table.row([
             policy_label(kind),
             format!("{m:.3}"),

@@ -4,7 +4,7 @@
 use chirp_core::{storage_report, ChirpConfig};
 use chirp_sim::report::Table;
 use chirp_sim::PolicyKind;
-use chirp_tlb::TlbGeometry;
+use chirp_tlb::{TlbGeometry, TlbReplacementPolicy};
 
 fn main() {
     let geom = TlbGeometry::default();
@@ -21,7 +21,7 @@ fn main() {
     println!("Policy storage comparison (same geometry):\n");
     let mut table = Table::new(["policy", "metadata B", "registers B", "tables B", "total B"]);
     for kind in PolicyKind::paper_lineup() {
-        let policy = kind.build(geom, 0);
+        let policy = kind.build_dispatch(geom, 0);
         let s = policy.storage();
         table.row([
             kind.name().to_string(),

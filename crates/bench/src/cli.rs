@@ -6,6 +6,9 @@
 //! --benchmarks N      number of suite benchmarks (default 96)
 //! --instructions M    instructions simulated per benchmark (default 1_000_000)
 //! --threads T         worker threads (default: available parallelism)
+//! --lanes L           software-pipeline lane width: up to L same-trace
+//!                     policy units interleaved per worker (default 1;
+//!                     results are bit-identical at any width)
 //! --store DIR         chirp-store directory: archive traces, skip runs
 //!                     whose results are already in the ledger
 //! --mem-budget BYTES  cap on packed-trace bytes in flight across workers
@@ -62,6 +65,8 @@ pub struct HarnessArgs {
     pub instructions: usize,
     /// Worker threads.
     pub threads: usize,
+    /// Lane width for the software-pipelined hot loop (1 = sequential).
+    pub lanes: usize,
     /// Optional `chirp-store` directory for incremental execution.
     pub store: Option<PathBuf>,
     /// Optional cap on packed-trace bytes resident across workers.
@@ -80,6 +85,7 @@ impl Default for HarnessArgs {
             benchmarks: 96,
             instructions: 1_000_000,
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            lanes: 1,
             store: None,
             mem_budget: None,
             telemetry: TelemetryMode::Off,
@@ -103,6 +109,7 @@ impl HarnessArgs {
                 "--benchmarks" => out.benchmarks = next_num(&mut it, &arg)?,
                 "--instructions" => out.instructions = next_num(&mut it, &arg)?,
                 "--threads" => out.threads = next_num(&mut it, &arg)?,
+                "--lanes" => out.lanes = next_num(&mut it, &arg)?,
                 "--store" => {
                     let dir = it.next().ok_or_else(|| format!("{arg} needs a directory"))?;
                     out.store = Some(PathBuf::from(dir));
@@ -131,7 +138,7 @@ impl HarnessArgs {
                 "--help" | "-h" => {
                     return Err(format!(
                         "usage: [--benchmarks N] [--instructions M] [--threads T] \
-                         [--store DIR] [--mem-budget BYTES[K|M|G]] [--full] \
+                         [--lanes L] [--store DIR] [--mem-budget BYTES[K|M|G]] [--full] \
                          [--telemetry {}] [--epoch-instructions N] [--telemetry-out DIR]",
                         TelemetryMode::HELP
                     ))
@@ -139,7 +146,7 @@ impl HarnessArgs {
                 other => return Err(format!("unknown flag: {other}")),
             }
         }
-        if out.benchmarks == 0 || out.instructions == 0 || out.threads == 0 {
+        if out.benchmarks == 0 || out.instructions == 0 || out.threads == 0 || out.lanes == 0 {
             return Err("flag values must be positive".to_string());
         }
         if out.mem_budget == Some(0) {
@@ -170,6 +177,7 @@ impl HarnessArgs {
         RunnerConfig {
             instructions: self.instructions,
             threads: self.threads,
+            lanes: self.lanes,
             store: self.store.clone(),
             mem_budget: self.mem_budget,
             ..Default::default()
@@ -337,9 +345,19 @@ mod tests {
     }
 
     #[test]
+    fn lanes_flag_reaches_runner_config() {
+        assert_eq!(parse(&[]).unwrap().lanes, 1, "lanes default to sequential");
+        let a = parse(&["--lanes", "4"]).unwrap();
+        assert_eq!(a.lanes, 4);
+        assert_eq!(a.runner_config().lanes, 4);
+        assert_eq!(a.runner_config().lane_width(), 4);
+    }
+
+    #[test]
     fn rejects_unknown_and_zero() {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--lanes", "0"]).is_err());
         assert!(parse(&["--benchmarks"]).is_err());
         assert!(parse(&["--benchmarks", "abc"]).is_err());
     }

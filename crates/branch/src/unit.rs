@@ -100,23 +100,13 @@ impl BranchUnit {
         let correct = match rec.kind {
             InstrKind::CondBranch => {
                 let predicted_taken = self.direction.update(rec.pc, rec.taken);
-                let target_ok = if rec.taken {
-                    let hit = self.btb.lookup(rec.pc) == Some(rec.target);
-                    self.btb.update(rec.pc, rec.target);
-                    hit
-                } else {
-                    true
-                };
+                let target_ok =
+                    if rec.taken { self.btb.predict_and_update(rec.pc, rec.target) } else { true };
                 predicted_taken == rec.taken && target_ok
             }
-            InstrKind::DirectJump => {
-                let hit = self.btb.lookup(rec.pc) == Some(rec.target);
-                self.btb.update(rec.pc, rec.target);
-                hit
-            }
+            InstrKind::DirectJump => self.btb.predict_and_update(rec.pc, rec.target),
             InstrKind::Call => {
-                let hit = self.btb.lookup(rec.pc) == Some(rec.target);
-                self.btb.update(rec.pc, rec.target);
+                let hit = self.btb.predict_and_update(rec.pc, rec.target);
                 self.ras.push(rec.pc + 4);
                 hit
             }

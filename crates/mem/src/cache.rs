@@ -1,6 +1,6 @@
 //! A set-associative, true-LRU cache model.
 
-use crate::packed_lru::PackedLru;
+use crate::order::{order_init, order_lru, order_mask, order_touch};
 use crate::stats::CacheStats;
 use serde::{Deserialize, Serialize};
 
@@ -35,19 +35,38 @@ impl CacheConfig {
 
 /// One set-associative LRU cache level.
 ///
-/// Tag and valid bit share one word per line (`tag << 1 | valid`,
-/// row-major by set), so a whole-set probe — the common case for the
-/// lower levels, whose miss ratios approach 1.0 on the paper's
-/// workloads — reads half the cache lines a split tag/valid layout
-/// would, and one pass yields both the matching way and the first free
-/// way. Invalid lines hold 0, which can never equal a lookup key
-/// because the key always has the valid bit set.
+/// Tags live in a flat `sets * ways` array of `tag << 1 | 1` words (0
+/// when invalid — the valid bit keeps an invalid slot from ever matching
+/// a key). Recency lives beside them as one packed order word per set
+/// (see [`order_touch`]): a probe reads the tag run (one or two host
+/// cache lines), and the LRU update is ~a dozen ALU ops on a single
+/// word instead of a per-way age sweep — tags are read-only on hits, so
+/// their lines stay clean in the host cache. Fills prefer the lowest
+/// free way; the eviction victim is the back of the order word, which is
+/// exact true LRU by construction. A proptest below pins the whole
+/// scheme against a reference `LruStack` model, and a per-set MRU memo
+/// (`mru`) collapses the dominant repeated-line case to a single
+/// compare.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    /// `sets * ways` entries of `tag << 1 | 1`, or 0 when invalid.
+    /// `sets * ways` tag words (`tag << 1 | 1`, 0 when invalid).
     meta: Vec<u64>,
-    lru: PackedLru,
+    /// Per set, two adjacent words — deliberately interleaved so every
+    /// probe's non-tag state shares one host cache line:
+    ///
+    /// `[2 * set]`: the MRU memo — the line address most recently
+    /// accessed in the set (hit or fill), `u64::MAX` before the first
+    /// one. Refreshed on every non-memoized access, so a match proves
+    /// the line is resident AND already MRU in its set — the whole probe
+    /// (tag scan + the no-op touch of an already-MRU way) collapses to
+    /// one compare with zero change to simulated state beyond the hit
+    /// counter. Caches live on temporal locality, so for the upper
+    /// levels this is the dominant path: sequential fetches share a
+    /// line, loop bodies re-enter theirs.
+    ///
+    /// `[2 * set + 1]`: the packed LRU-order word.
+    set_state: Vec<u64>,
     line_shift: u32,
     set_mask: u64,
     stats: CacheStats,
@@ -55,11 +74,22 @@ pub struct Cache {
 
 impl Cache {
     /// Builds the cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry (see [`CacheConfig::sets`]) or
+    /// more than 16 ways (the packed order word holds one nibble per way).
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
+        assert!(config.ways <= 16, "packed LRU order supports at most 16 ways");
+        let mut set_state = Vec::with_capacity(sets * 2);
+        for _ in 0..sets {
+            set_state.push(u64::MAX);
+            set_state.push(order_init(config.ways));
+        }
         Cache {
             meta: vec![0; sets * config.ways],
-            lru: PackedLru::new(sets, config.ways),
+            set_state,
             line_shift: config.line_bytes.trailing_zeros(),
             set_mask: sets as u64 - 1,
             config,
@@ -83,55 +113,136 @@ impl Cache {
         let line = addr >> self.line_shift;
         let set_idx = (line & self.set_mask) as usize;
         let tag = line >> self.set_mask.count_ones();
-        debug_assert!(tag < 1 << 63, "tag must leave room for the valid bit");
         (set_idx, tag << 1 | 1)
     }
 
     /// Looks up `addr`, filling the line on a miss. Returns `true` on hit.
     #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
-        let (set_idx, key) = self.key(addr);
-        let ways = self.config.ways;
-        let base = set_idx * ways;
-        let set = &mut self.meta[base..base + ways];
-        // One pass finds both the matching way (hit) and the first free
-        // way (preferred victim on a miss; invalid entries are 0).
-        let mut free = usize::MAX;
-        for (way, &entry) in set.iter().enumerate() {
-            if entry == key {
-                self.lru.touch(set_idx, way);
-                self.stats.hits += 1;
-                return true;
+        let line = addr >> self.line_shift;
+        let set_idx = (line & self.set_mask) as usize;
+        if line == self.set_state[2 * set_idx] {
+            // Most recently accessed line of its set: resident and MRU,
+            // so the probe and the (no-op) touch can be skipped. Line
+            // addresses are at most 58 bits, so the u64::MAX sentinel
+            // cannot collide.
+            self.stats.hits += 1;
+            return true;
+        }
+        self.set_state[2 * set_idx] = line;
+        let tag = line >> self.set_mask.count_ones();
+        let key = tag << 1 | 1;
+        // Dispatch on the associativity so the scan compiles with a
+        // compile-time trip count (fully unrolled, no loop bookkeeping)
+        // for the geometries the model actually uses.
+        match self.config.ways {
+            4 => self.probe_sized::<4>(set_idx, key),
+            8 => self.probe_sized::<8>(set_idx, key),
+            16 => self.probe_sized::<16>(set_idx, key),
+            ways => self.probe_dyn(set_idx, key, ways),
+        }
+    }
+
+    /// [`access`](Self::access) probe body with the associativity as a
+    /// compile-time constant.
+    #[inline]
+    fn probe_sized<const W: usize>(&mut self, set_idx: usize, key: u64) -> bool {
+        let base = set_idx * W;
+        let tags: &mut [u64; W] =
+            (&mut self.meta[base..base + W]).try_into().expect("slice spans W ways");
+        let mask = order_mask(W);
+        let order_at = 2 * set_idx + 1;
+        // Branch-free probe. Which way hits (or which way a miss fills)
+        // is data-dependent and effectively random for the lower levels,
+        // so an early-exit scan eats a branch mispredict on most
+        // non-memoized hits; folding the scan into conditional moves and
+        // sharing one exit path between hit, free-fill and eviction
+        // trades those flushes for a short dependency chain. The reversed
+        // loop makes the LOWEST matching slot win the free-way fold; the
+        // hit way is unique if present (tags are distinct and `key`
+        // carries the valid bit, so it never equals an invalid 0).
+        let mut hit_way = usize::MAX;
+        let mut free_way = usize::MAX;
+        for way in (0..W).rev() {
+            let tag = tags[way];
+            if tag == key {
+                hit_way = way;
             }
-            if entry == 0 && free == usize::MAX {
-                free = way;
+            if tag == 0 {
+                free_way = way;
             }
         }
+        let hit = hit_way != usize::MAX;
+        let order = self.set_state[order_at];
+        // Way priority: hit way, else lowest free way, else the back of
+        // the order word — the exact LRU way.
+        let mut way = order_lru(order, W);
+        if free_way != usize::MAX {
+            way = free_way;
+        }
+        if hit {
+            way = hit_way;
+        }
+        // On a hit `tags[way]` already equals `key`, so the
+        // unconditional store is idempotent, and hit and fill want the
+        // same recency touch.
+        tags[way] = key;
+        self.set_state[order_at] = order_touch(order, way, mask);
+        self.stats.hits += u64::from(hit);
+        self.stats.misses += u64::from(!hit);
+        hit
+    }
+
+    /// [`access`](Self::access) fallback for associativities without a
+    /// monomorphized instantiation. Identical logic, runtime trip count.
+    fn probe_dyn(&mut self, set_idx: usize, key: u64, ways: usize) -> bool {
+        let base = set_idx * ways;
+        let tags = &mut self.meta[base..base + ways];
+        let mask = order_mask(ways);
+        let mut free = usize::MAX;
+        let mut hit = usize::MAX;
+        for (way, &tag) in tags.iter().enumerate() {
+            if tag == key {
+                hit = way;
+                break;
+            }
+            if tag == 0 {
+                free = free.min(way);
+            }
+        }
+        let order_at = 2 * set_idx + 1;
+        if hit != usize::MAX {
+            self.set_state[order_at] = order_touch(self.set_state[order_at], hit, mask);
+            self.stats.hits += 1;
+            return true;
+        }
         self.stats.misses += 1;
-        let victim = if free != usize::MAX { free } else { self.lru.lru(set_idx) };
-        set[victim] = key;
-        self.lru.touch(set_idx, victim);
+        let order = self.set_state[order_at];
+        let way = if free != usize::MAX { free } else { order_lru(order, ways) };
+        tags[way] = key;
+        self.set_state[order_at] = order_touch(order, way, mask);
         false
     }
 
     /// Hints the host to pull the set `addr` maps to into its own cache.
-    ///
-    /// The lower levels' metadata arrays run to megabytes, so a miss
-    /// ladder (L1 → L2 → L3) is a chain of dependent host-memory
-    /// stalls; prefetching the next level's set while the current one
-    /// is probed overlaps them. Purely a performance hint — no
-    /// simulated state changes.
+    /// Purely a performance hint — no simulated state changes.
     #[inline]
     pub fn prefetch(&self, addr: u64) {
         let (set_idx, _) = self.key(addr);
         let base = set_idx * self.config.ways;
+        let bytes = self.config.ways * 8;
         #[cfg(target_arch = "x86_64")]
         unsafe {
             use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
-            _mm_prefetch(self.meta.as_ptr().add(base).cast::<i8>(), _MM_HINT_T0);
+            let p = self.meta.as_ptr().add(base).cast::<i8>();
+            let mut off = 0;
+            while off < bytes {
+                _mm_prefetch(p.add(off), _MM_HINT_T0);
+                off += 64;
+            }
         }
         #[cfg(not(target_arch = "x86_64"))]
-        let _ = base;
+        let _ = (base, bytes);
     }
 
     /// True if the line holding `addr` is currently resident (no side
@@ -146,6 +257,7 @@ impl Cache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::LruStack;
     use proptest::prelude::*;
 
     fn tiny() -> Cache {
@@ -219,6 +331,116 @@ mod tests {
             for &l in &lines { c.access(l); }
             for &l in &lines {
                 prop_assert!(c.access(l), "line {l:#x} must hit after warmup");
+            }
+        }
+
+        /// The packed-order layout (and the per-set MRU memo riding on
+        /// it) must replace lines in the exact order a reference model
+        /// with a per-set LRU stack would — hit/miss sequences identical.
+        #[test]
+        fn matches_lru_stack_reference_model(
+            addrs in proptest::collection::vec(0u64..2048, 1..300),
+        ) {
+            let mut c = Cache::new(CacheConfig {
+                size_bytes: 4 * 2 * 64, ways: 2, line_bytes: 64, hit_latency: 1,
+            });
+            // Reference: per-set tag vectors + LruStack recency.
+            let sets = 4usize;
+            let ways = 2usize;
+            let mut tags: Vec<Vec<Option<u64>>> = vec![vec![None; ways]; sets];
+            let mut lru: Vec<LruStack> = (0..sets).map(|_| LruStack::new(ways)).collect();
+            for &a in &addrs {
+                let line = a >> 6;
+                let set = (line & 3) as usize;
+                let tag = line >> 2;
+                let expect_hit = match tags[set].iter().position(|&t| t == Some(tag)) {
+                    Some(way) => {
+                        lru[set].touch(way);
+                        true
+                    }
+                    None => {
+                        let way = tags[set]
+                            .iter()
+                            .position(|t| t.is_none())
+                            .unwrap_or_else(|| lru[set].lru());
+                        tags[set][way] = Some(tag);
+                        lru[set].touch(way);
+                        false
+                    }
+                };
+                prop_assert_eq!(c.access(a), expect_hit, "addr {:#x} diverged", a);
+            }
+        }
+
+        /// Same pinning for an 8-way geometry, exercising the
+        /// monomorphized probe path used by the real L1 configuration.
+        #[test]
+        fn matches_reference_model_8way(
+            addrs in proptest::collection::vec(0u64..8192, 1..400),
+        ) {
+            let mut c = Cache::new(CacheConfig {
+                size_bytes: 2 * 8 * 64, ways: 8, line_bytes: 64, hit_latency: 1,
+            });
+            let sets = 2usize;
+            let ways = 8usize;
+            let mut tags: Vec<Vec<Option<u64>>> = vec![vec![None; ways]; sets];
+            let mut lru: Vec<LruStack> = (0..sets).map(|_| LruStack::new(ways)).collect();
+            for &a in &addrs {
+                let line = a >> 6;
+                let set = (line & 1) as usize;
+                let tag = line >> 1;
+                let expect_hit = match tags[set].iter().position(|&t| t == Some(tag)) {
+                    Some(way) => {
+                        lru[set].touch(way);
+                        true
+                    }
+                    None => {
+                        let way = tags[set]
+                            .iter()
+                            .position(|t| t.is_none())
+                            .unwrap_or_else(|| lru[set].lru());
+                        tags[set][way] = Some(tag);
+                        lru[set].touch(way);
+                        false
+                    }
+                };
+                prop_assert_eq!(c.access(a), expect_hit, "addr {:#x} diverged", a);
+            }
+        }
+
+        /// And for the 16-way geometry used by the simulated L2/L3 —
+        /// the full-width order word with no unused nibbles.
+        #[test]
+        fn matches_reference_model_16way(
+            addrs in proptest::collection::vec(0u64..16384, 1..500),
+        ) {
+            let mut c = Cache::new(CacheConfig {
+                size_bytes: 2 * 16 * 64, ways: 16, line_bytes: 64, hit_latency: 1,
+            });
+            let sets = 2usize;
+            let ways = 16usize;
+            let mut tags: Vec<Vec<Option<u64>>> = vec![vec![None; ways]; sets];
+            let mut lru: Vec<LruStack> = (0..sets).map(|_| LruStack::new(ways)).collect();
+            for &a in &addrs {
+                let line = a >> 6;
+                let set = (line & 1) as usize;
+                let tag = line >> 1;
+                let expect_hit = match tags[set].iter().position(|&t| t == Some(tag)) {
+                    Some(way) => {
+                        lru[set].touch(way);
+                        true
+                    }
+                    None => {
+                        let way = tags[set]
+                            .iter()
+                            .position(|t| t.is_none())
+                            .unwrap_or_else(|| lru[set].lru());
+                        tags[set][way] = Some(tag);
+                        lru[set].touch(way);
+                        false
+                    }
+                };
+                prop_assert_eq!(c.access(a), expect_hit, "addr {:#x} diverged", a);
             }
         }
     }

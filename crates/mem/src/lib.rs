@@ -19,11 +19,13 @@
 pub mod cache;
 pub mod hierarchy;
 pub mod lru;
+pub mod order;
 pub mod packed_lru;
 pub mod stats;
 
 pub use cache::{Cache, CacheConfig};
 pub use hierarchy::{HierarchyConfig, MemoryHierarchy};
 pub use lru::LruStack;
+pub use order::{order_init, order_lru, order_mask, order_touch};
 pub use packed_lru::PackedLru;
 pub use stats::CacheStats;

@@ -1,0 +1,124 @@
+//! A whole per-set LRU stack packed into one `u64` of way-index nibbles.
+//!
+//! [`PackedLru`](crate::PackedLru) stores per-way ages as bytes; touching
+//! a way still sweeps every age in the set with a read-modify-write.
+//! For structures with at most 16 ways the entire recency *permutation*
+//! fits in a single 64-bit word — one 4-bit nibble per stack position,
+//! nibble 0 holding the MRU way index and nibble `ways - 1` the LRU —
+//! so a touch is a dozen ALU instructions on one register and a victim
+//! lookup is a shift. The hot simulated structures (caches, L1 TLBs,
+//! BTB) keep one order word per set next to a read-only tag array: on a
+//! hit nothing but the order word is written, which keeps the tag lines
+//! clean in the host cache.
+//!
+//! Semantics are bit-identical to [`LruStack`](crate::LruStack) driven
+//! by the same touches; a proptest below pins the full permutation at
+//! every step.
+
+/// Nibble-replicating multiplier for the SWAR nibble search.
+const NIBBLE_LSB: u64 = 0x1111_1111_1111_1111;
+/// High bit of every nibble, for the SWAR zero-nibble detect.
+const NIBBLE_MSB: u64 = 0x8888_8888_8888_8888;
+/// Identity permutation: way `i` sits at stack position `i`.
+const ORDER_INIT: u64 = 0xFEDC_BA98_7654_3210;
+
+/// The low `4 * ways` bits — the nibbles a `ways`-way order word uses.
+#[inline]
+pub const fn order_mask(ways: usize) -> u64 {
+    if ways >= 16 {
+        u64::MAX
+    } else {
+        (1u64 << (4 * ways)) - 1
+    }
+}
+
+/// The initial order word for a `ways`-way set: way 0 MRU … way
+/// `ways - 1` LRU, matching [`LruStack::new`](crate::LruStack::new).
+#[inline]
+pub const fn order_init(ways: usize) -> u64 {
+    ORDER_INIT & order_mask(ways)
+}
+
+/// Moves `way` to the front (MRU) of a packed LRU-order word.
+///
+/// Finds `way`'s nibble with a SWAR zero-nibble search, deletes it, and
+/// prepends it — pure ALU work on one word, no per-way sweep. The
+/// zero-nibble detect `(x - 1·) & !x & 8·` flags exactly the zero
+/// nibbles of `x`: a borrow out of a zero nibble cannot fabricate a
+/// flag in the nibble above, because that nibble's result only gains
+/// the high bit if the nibble is 0 or ≥ 9, and ≥ 9 is masked off by
+/// `!x`. An order word is a permutation, so exactly one in-range nibble
+/// matches. `mask` must be `order_mask(ways)` for the word's geometry.
+///
+/// Debug builds panic if `way` is not present in the order word.
+#[inline]
+pub fn order_touch(order: u64, way: usize, mask: u64) -> u64 {
+    let x = order ^ (way as u64 * NIBBLE_LSB);
+    let found = x.wrapping_sub(NIBBLE_LSB) & !x & NIBBLE_MSB & mask;
+    debug_assert!(found != 0, "way {way} absent from order word {order:#x}");
+    let pos = (found.trailing_zeros() >> 2) as usize;
+    let keep = (1u64 << (4 * pos)) - 1;
+    let removed = (order & keep) | ((order >> 4) & !keep);
+    ((removed << 4) | way as u64) & mask
+}
+
+/// The LRU way of a packed order word: the nibble at position `ways - 1`.
+#[inline]
+pub const fn order_lru(order: u64, ways: usize) -> usize {
+    ((order >> (4 * (ways - 1))) & 0xF) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LruStack;
+    use proptest::prelude::*;
+
+    #[test]
+    fn primitives() {
+        // 4-way identity: 0x3210, LRU = way 3.
+        let mask = order_mask(4);
+        let order = order_init(4);
+        assert_eq!(order, 0x3210);
+        assert_eq!(order_lru(order, 4), 3);
+        // Touch way 1: becomes MRU, ways below its old position shift back.
+        let order = order_touch(order, 1, mask);
+        assert_eq!(order, 0x3201);
+        assert_eq!(order_lru(order, 4), 3);
+        // Touch the LRU way: rotation.
+        let order = order_touch(order, 3, mask);
+        assert_eq!(order, 0x2013);
+        // Touching the MRU way is the identity.
+        assert_eq!(order_touch(order, 3, mask), order);
+        // Full 16-way word round-trips too.
+        let m16 = order_mask(16);
+        let o16 = order_touch(order_init(16), 15, m16);
+        assert_eq!(o16, 0xEDCB_A987_6543_210F);
+        assert_eq!(order_lru(o16, 16), 14);
+    }
+
+    proptest! {
+        /// Driven by the same touch sequence, the packed word holds the
+        /// exact MRU→LRU permutation of the reference `LruStack` at
+        /// every step, for every supported associativity.
+        #[test]
+        fn matches_lru_stack_permutation(
+            ways in 1usize..17,
+            touches in proptest::collection::vec(0usize..16, 0..128),
+        ) {
+            let mask = order_mask(ways);
+            let mut order = order_init(ways);
+            let mut stack = LruStack::new(ways);
+            for t in touches {
+                let way = t % ways;
+                order = order_touch(order, way, mask);
+                stack.touch(way);
+                let packed: Vec<usize> =
+                    (0..ways).map(|p| ((order >> (4 * p)) & 0xF) as usize).collect();
+                let reference: Vec<usize> = stack.iter().collect();
+                prop_assert_eq!(&packed, &reference, "permutation diverged");
+                prop_assert_eq!(order_lru(order, ways), stack.lru());
+            }
+        }
+    }
+}

@@ -44,9 +44,9 @@ pub fn run_suite_benchwise(
                     let trace = bench.generate(config.instructions);
                     let mut runs = Vec::with_capacity(policies.len());
                     for policy in policies {
-                        let mut sim = Simulator::new(
+                        let mut sim = Simulator::with_policy(
                             &config.sim,
-                            policy.build(config.sim.tlb.l2, bench.seed),
+                            policy.build_dispatch(config.sim.tlb.l2, bench.seed),
                         );
                         let result = sim.run(trace.as_slice(), config.sim.warmup_fraction);
                         runs.push(BenchRun {

@@ -19,7 +19,7 @@ use chirp_trace::{vpn, InstrKind, PackedTrace, TraceChunk, TraceRecord, TraceSou
 /// Records streamed per [`TraceChunk`] by the columnar run loop. Large
 /// enough to amortise per-chunk bookkeeping, small enough that the chunk's
 /// columns stay resident in L1/L2 cache while it is consumed.
-const CHUNK_SIZE: usize = 4096;
+pub(crate) const CHUNK_SIZE: usize = 4096;
 
 /// The assembled machine model.
 ///
@@ -46,10 +46,16 @@ impl<P: TlbReplacementPolicy> std::fmt::Debug for Simulator<P> {
     }
 }
 
+#[cfg(feature = "legacy-dyn")]
 impl Simulator {
     /// Builds a simulator with a boxed (dynamically dispatched) L2 TLB
     /// replacement policy — the legacy constructor, kept as a
-    /// compatibility shim over [`Simulator::with_policy`].
+    /// compatibility shim over [`Simulator::with_policy`] behind the
+    /// `legacy-dyn` feature. New code should use
+    /// [`Simulator::with_policy`] with a concrete policy type (usually
+    /// [`crate::PolicyDispatch`]); the boxed path costs a vtable call per
+    /// policy touch and is kept only so the shim's equivalence test can
+    /// keep proving the two dispatch strategies identical.
     pub fn new(config: &SimConfig, l2_policy: Box<dyn TlbReplacementPolicy>) -> Self {
         Simulator::with_policy(config, l2_policy)
     }
@@ -71,18 +77,29 @@ impl<P: TlbReplacementPolicy> Simulator<P> {
     /// Executes one instruction, accumulating cycles.
     #[inline]
     pub fn step(&mut self, rec: &TraceRecord) {
+        self.step_decoded(rec, vpn(rec.pc), vpn(rec.effective_address));
+    }
+
+    /// [`step`](Self::step) with the instruction/data page numbers already
+    /// computed. The lane engine batch-decodes each burst of records and
+    /// derives both vpns in the decode pass, so the interleaved probe loop
+    /// issues straight into the TLB arrays without per-record address
+    /// arithmetic. `dvpn` is ignored for non-memory records (callers pass
+    /// `vpn(0)` or any value).
+    #[inline]
+    pub(crate) fn step_decoded(&mut self, rec: &TraceRecord, ivpn: u64, dvpn: u64) {
         self.instructions += 1;
         let mut cycles = 1u64;
 
         // Instruction side: translate the fetch PC, then fetch.
-        cycles += self.tlbs.translate(rec.pc, vpn(rec.pc), TranslationKind::Instruction).cycles;
+        cycles += self.tlbs.translate(rec.pc, ivpn, TranslationKind::Instruction).cycles;
         let fetch_latency = self.mem.fetch(rec.pc);
         cycles += self.cache_penalty(fetch_latency);
 
         // Data side.
         if rec.kind.is_memory() {
             let ea = rec.effective_address;
-            cycles += self.tlbs.translate(rec.pc, vpn(ea), TranslationKind::Data).cycles;
+            cycles += self.tlbs.translate(rec.pc, dvpn, TranslationKind::Data).cycles;
             let lat = match rec.kind {
                 InstrKind::Load => self.mem.load(ea),
                 InstrKind::Store => self.mem.store(ea),
@@ -213,13 +230,16 @@ impl<P: TlbReplacementPolicy> Simulator<P> {
     }
 
     /// Snapshot of machine state at the start of the measured window.
-    fn window_start(&self) -> (u64, u64, TlbStats) {
+    pub(crate) fn window_start(&self) -> (u64, u64, TlbStats) {
         (self.cycles, self.instructions, self.tlbs.l2().stats())
     }
 
     /// Assembles the [`RunResult`] for the window opened by
     /// [`window_start`](Self::window_start).
-    fn finish_result(&self, (cycles0, instructions0, stats0): (u64, u64, TlbStats)) -> RunResult {
+    pub(crate) fn finish_result(
+        &self,
+        (cycles0, instructions0, stats0): (u64, u64, TlbStats),
+    ) -> RunResult {
         let stats1 = self.tlbs.l2().stats();
         let measured = TlbStats {
             hits: stats1.hits - stats0.hits,
@@ -288,7 +308,7 @@ mod tests {
 
     fn run(policy: PolicyKind, trace: &[TraceRecord]) -> RunResult {
         let config = SimConfig::default();
-        let mut sim = Simulator::new(&config, policy.build(config.tlb.l2, 0));
+        let mut sim = Simulator::with_policy(&config, policy.build_dispatch(config.tlb.l2, 0));
         sim.run(trace, 0.5)
     }
 
@@ -333,8 +353,10 @@ mod tests {
         let trace = g.generate(100_000, 0);
         let slow_cfg = SimConfig::default().with_walk_penalty(340);
         let fast_cfg = SimConfig::default().with_walk_penalty(20);
-        let mut slow = Simulator::new(&slow_cfg, PolicyKind::Lru.build(slow_cfg.tlb.l2, 0));
-        let mut fast = Simulator::new(&fast_cfg, PolicyKind::Lru.build(fast_cfg.tlb.l2, 0));
+        let mut slow =
+            Simulator::with_policy(&slow_cfg, PolicyKind::Lru.build_dispatch(slow_cfg.tlb.l2, 0));
+        let mut fast =
+            Simulator::with_policy(&fast_cfg, PolicyKind::Lru.build_dispatch(fast_cfg.tlb.l2, 0));
         let rs = slow.run(&trace, 0.5);
         let rf = fast.run(&trace, 0.5);
         assert!(rs.cycles > rf.cycles, "larger walk penalty must cost cycles");

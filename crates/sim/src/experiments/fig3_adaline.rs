@@ -111,15 +111,9 @@ pub fn run(suite: &[BenchmarkSpec], config: &RunnerConfig) -> Fig3Result {
         let trace = bench.generate(config.instructions);
         let sim_cfg: SimConfig = config.sim;
         let recorder = ReuseRecorder::new(sim_cfg.tlb.l2);
-        let mut sim = Simulator::new(&sim_cfg, Box::new(recorder));
+        let mut sim = Simulator::with_policy(&sim_cfg, recorder);
         let _ = sim.run(&trace, 0.0);
-        let recorder = sim
-            .tlbs()
-            .l2()
-            .policy()
-            .as_any()
-            .and_then(|a| a.downcast_ref::<ReuseRecorder>())
-            .expect("recorder policy");
+        let recorder = sim.tlbs().l2().policy();
         profiles.push(train_on_events(bench.name.clone(), recorder.events(), PC_BITS));
     }
     let mut mean_weight_per_bit = vec![0.0; PC_BITS];

@@ -86,26 +86,21 @@ pub fn run(suite: &[BenchmarkSpec], config: &RunnerConfig) -> OptBoundResult {
     let mut gaps = Vec::new();
     for bench in suite {
         let trace = bench.generate(config.instructions);
-        // Pass 1: LRU + stream recording.
-        let mut sim = Simulator::new(&sim_cfg, Box::new(StreamRecorder::new(sim_cfg.tlb.l2)));
+        // Pass 1: LRU + stream recording. Monomorphized over the concrete
+        // recorder type, so the recorded stream is read straight off the
+        // policy — no downcast needed.
+        let mut sim = Simulator::with_policy(&sim_cfg, StreamRecorder::new(sim_cfg.tlb.l2));
         let lru = sim.run(&trace, sim_cfg.warmup_fraction);
-        let stream: Vec<u64> = sim
-            .tlbs()
-            .l2()
-            .policy()
-            .as_any()
-            .and_then(|a| a.downcast_ref::<StreamRecorder>())
-            .expect("stream recorder")
-            .stream()
-            .to_vec();
+        let stream: Vec<u64> = sim.tlbs().l2().policy().stream().to_vec();
         // Pass 2: Bélády OPT driven by the recorded stream.
         let oracle = OptOracle::from_vpns(stream);
-        let mut sim = Simulator::new(&sim_cfg, Box::new(OptPolicy::new(sim_cfg.tlb.l2, oracle)));
+        let mut sim = Simulator::with_policy(&sim_cfg, OptPolicy::new(sim_cfg.tlb.l2, oracle));
         let opt = sim.run(&trace, sim_cfg.warmup_fraction);
         // CHiRP for the same trace.
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::with_policy(
             &sim_cfg,
-            PolicyKind::Chirp(chirp_core::ChirpConfig::default()).build(sim_cfg.tlb.l2, bench.seed),
+            PolicyKind::Chirp(chirp_core::ChirpConfig::default())
+                .build_dispatch(sim_cfg.tlb.l2, bench.seed),
         );
         let chirp = sim.run(&trace, sim_cfg.warmup_fraction);
 

@@ -1,0 +1,345 @@
+//! Multi-lane software-pipelined execution of independent simulations.
+//!
+//! The columnar loop in [`crate::engine`] walks one trace at a time, so
+//! every instruction's TLB/cache probes form one long dependent chain and
+//! the core spends most of its time waiting on loads. This module runs N
+//! independent (benchmark × policy) units through a single instruction
+//! loop instead: each *lane* owns its own [`Simulator`] and trace cursor,
+//! and the loop steps record `k` of every lane before record `k+1` of any
+//! lane. Because the lanes share no state, their probe chains are
+//! independent, and interleaving them hands the out-of-order core 2–8
+//! loads it can issue in parallel where the single-lane loop offered one.
+//! Lanes are instruction-level parallelism, not threads — on a 1-CPU box
+//! this is the only way the probe latency gets hidden.
+//!
+//! Each burst has two phases:
+//!
+//! 1. **Decode** (per lane): expand up to `BURST` records from the
+//!    lane's current [`ChunkCursor`] into a dense [`DecodedBlock`] and
+//!    precompute the instruction/data page numbers in a tight pass over
+//!    the pc/ea columns (`Lane::decode_burst`).
+//! 2. **Step** (interleaved): `for k { for lane { step } }` over the
+//!    decoded columns, feeding the precomputed vpns straight into the TLB
+//!    probes ([`run_columnar_lanes`]).
+//!
+//! The warmup/measure split never touches the per-record path: each lane
+//! cuts its warmup boundary once, when the boundary's chunk is pulled,
+//! via [`TraceChunk::split_at`] — exactly where
+//! [`Simulator::run_columnar`] cuts it, so every lane's [`RunResult`] is
+//! bit-identical to a sequential `run_columnar` of the same unit (pinned
+//! by `tests/equivalence_matrix.rs` across all 9 policies × lane counts).
+//!
+//! [`TraceChunk::split_at`]: chirp_trace::TraceChunk::split_at
+
+use crate::engine::{Simulator, CHUNK_SIZE};
+use crate::metrics::RunResult;
+use chirp_tlb::{TlbReplacementPolicy, TlbStats};
+use chirp_trace::{vpn, ChunkCursor, DecodedBlock, PackedTrace, TraceChunks};
+
+/// Records decoded per lane per burst. Large enough that the interleaved
+/// step loop dominates the per-burst bookkeeping, small enough that all
+/// lanes' decoded columns (5 arrays × 8 lanes) stay in L1 cache.
+const BURST: usize = 64;
+
+/// One unit of work for the lane engine: a configured simulator, the
+/// trace it runs, and its warmup fraction.
+///
+/// Units are independent by construction — each owns its simulator and
+/// the traces are read-only — which is what makes the interleaved
+/// schedule trivially equivalent to running them back to back.
+pub struct LaneUnit<'t, P: TlbReplacementPolicy> {
+    sim: Simulator<P>,
+    trace: &'t PackedTrace,
+    warmup_fraction: f64,
+}
+
+impl<'t, P: TlbReplacementPolicy> LaneUnit<'t, P> {
+    /// Bundles a simulator with the trace it should run.
+    pub fn new(sim: Simulator<P>, trace: &'t PackedTrace, warmup_fraction: f64) -> Self {
+        LaneUnit { sim, trace, warmup_fraction }
+    }
+}
+
+/// Live per-lane state: the simulator plus a resumable position in its
+/// trace's chunk stream.
+struct Lane<'t, P: TlbReplacementPolicy> {
+    /// Index into the caller's unit vector (results keep input order).
+    slot: usize,
+    sim: Simulator<P>,
+    chunks: TraceChunks<'t>,
+    /// Cursor over the current segment (a whole chunk, or one half of the
+    /// warmup-boundary chunk).
+    cursor: Option<ChunkCursor<'t>>,
+    /// The measured half of the warmup-boundary chunk, parked until the
+    /// warmup half is fully stepped.
+    pending_tail: Option<ChunkCursor<'t>>,
+    /// Machine state at the start of the measured window, once opened.
+    window: Option<(u64, u64, TlbStats)>,
+    /// Absolute index of the first measured record.
+    warmup: usize,
+    /// Absolute index just past the last chunk pulled from `chunks`.
+    chunk_end: usize,
+    /// Decoded columns for the in-flight burst.
+    block: DecodedBlock,
+    /// Instruction-side page numbers, one per decoded record.
+    ivpns: Vec<u64>,
+    /// Data-side page numbers, one per decoded record (0 for non-memory).
+    dvpns: Vec<u64>,
+}
+
+impl<'t, P: TlbReplacementPolicy> Lane<'t, P> {
+    fn new(slot: usize, unit: LaneUnit<'t, P>) -> Self {
+        let len = unit.trace.len();
+        let warmup = (((len as f64) * unit.warmup_fraction.clamp(0.0, 1.0)) as usize).min(len);
+        Lane {
+            slot,
+            sim: unit.sim,
+            chunks: unit.trace.chunks(CHUNK_SIZE),
+            cursor: None,
+            pending_tail: None,
+            window: None,
+            warmup,
+            chunk_end: 0,
+            block: DecodedBlock::with_capacity(BURST),
+            ivpns: Vec::with_capacity(BURST),
+            dvpns: Vec::with_capacity(BURST),
+        }
+    }
+
+    /// Ensures the lane has a non-empty segment to decode from, advancing
+    /// through segment and chunk boundaries (and opening the measured
+    /// window when the warmup half of a split chunk completes). Returns
+    /// `false` once the trace is exhausted.
+    ///
+    /// Called only between bursts, so every previously decoded record has
+    /// already been stepped — which is what makes "the warmup cursor ran
+    /// dry" equivalent to "the warmup instructions ran".
+    fn refill(&mut self) -> bool {
+        loop {
+            if self.cursor.as_ref().is_some_and(|c| c.remaining() > 0) {
+                return true;
+            }
+            self.cursor = None;
+            if let Some(tail) = self.pending_tail.take() {
+                // The warmup half is fully stepped: open the window, then
+                // resume with the measured half (which may itself be
+                // empty when the boundary sat at the chunk's end).
+                self.window = Some(self.sim.window_start());
+                self.cursor = Some(tail);
+                continue;
+            }
+            let Some(chunk) = self.chunks.next() else {
+                return false;
+            };
+            let start = self.chunk_end;
+            self.chunk_end += chunk.len();
+            if self.window.is_none() && self.pending_tail.is_none() && self.warmup <= self.chunk_end
+            {
+                let (head, tail) = chunk.split_at(self.warmup - start);
+                self.cursor = Some(head.cursor());
+                self.pending_tail = Some(tail.cursor());
+            } else {
+                self.cursor = Some(chunk.cursor());
+            }
+        }
+    }
+
+    /// Phase 1: expands the next `burst` records of the current segment
+    /// into the dense block and precomputes both page-number columns.
+    fn decode_burst(&mut self, burst: usize) {
+        let cursor = self.cursor.as_mut().expect("refill() ran before every burst");
+        let n = cursor.decode_into(&mut self.block, burst);
+        debug_assert_eq!(n, burst, "burst is capped at every lane's segment remainder");
+        self.ivpns.clear();
+        self.ivpns.extend(self.block.pcs.iter().map(|&pc| vpn(pc)));
+        self.dvpns.clear();
+        self.dvpns.extend(self.block.eas.iter().map(|&ea| vpn(ea)));
+    }
+
+    /// Steps record `k` of the in-flight burst.
+    #[inline]
+    fn step(&mut self, k: usize) {
+        let rec = self.block.record(k);
+        self.sim.step_decoded(&rec, self.ivpns[k], self.dvpns[k]);
+    }
+
+    /// Assembles the lane's result once its trace is exhausted, handing
+    /// back the simulator so callers can inspect final policy state.
+    fn finish(mut self) -> (RunResult, Simulator<P>) {
+        // A window never opened means the whole trace was warmup (or the
+        // trace was empty): measure the empty suffix, like `run_columnar`.
+        let window = self.window.take().unwrap_or_else(|| self.sim.window_start());
+        let result = self.sim.finish_result(window);
+        (result, self.sim)
+    }
+}
+
+/// Runs every unit to completion, software-pipelining up to `lanes` of
+/// them through one interleaved instruction loop. Returns one
+/// [`RunResult`] per unit, in input order — each bit-identical to
+/// `unit.sim.run_columnar(unit.trace, unit.warmup_fraction)`.
+///
+/// When a lane's trace ends, the lane is retired and the next pending
+/// unit takes its place, so a unit count that does not divide `lanes`
+/// (or traces of different lengths) simply tapers the interleave width
+/// toward the end.
+///
+/// # Panics
+///
+/// Panics if `lanes == 0`.
+pub fn run_columnar_lanes<P: TlbReplacementPolicy>(
+    units: Vec<LaneUnit<'_, P>>,
+    lanes: usize,
+) -> Vec<RunResult> {
+    run_columnar_lanes_outcomes(units, lanes).into_iter().map(|(result, _)| result).collect()
+}
+
+/// [`run_columnar_lanes`], additionally returning each unit's simulator
+/// so callers (the equivalence tests, the runner's stats collection) can
+/// inspect final policy and TLB state.
+///
+/// # Panics
+///
+/// Panics if `lanes == 0`.
+pub fn run_columnar_lanes_outcomes<'t, P: TlbReplacementPolicy>(
+    units: Vec<LaneUnit<'t, P>>,
+    lanes: usize,
+) -> Vec<(RunResult, Simulator<P>)> {
+    assert!(lanes > 0, "lane count must be positive");
+    let total = units.len();
+    let mut results: Vec<Option<(RunResult, Simulator<P>)>> = Vec::with_capacity(total);
+    results.resize_with(total, || None);
+    let mut pending = units.into_iter().enumerate();
+    let mut active: Vec<Lane<'t, P>> = Vec::with_capacity(lanes);
+    for (slot, unit) in pending.by_ref().take(lanes) {
+        active.push(Lane::new(slot, unit));
+    }
+
+    while !active.is_empty() {
+        // Retire exhausted lanes, pulling pending units into their place.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].refill() {
+                i += 1;
+            } else {
+                let lane = active.swap_remove(i);
+                let slot = lane.slot;
+                results[slot] = Some(lane.finish());
+                if let Some((slot, unit)) = pending.next() {
+                    active.push(Lane::new(slot, unit));
+                }
+            }
+        }
+        if active.is_empty() {
+            break;
+        }
+
+        // Burst length: bounded by every active lane's current segment so
+        // phase 2 never crosses a warmup boundary mid-burst.
+        let burst = active
+            .iter()
+            .map(|l| l.cursor.as_ref().expect("refill() kept the lane").remaining())
+            .min()
+            .expect("active is non-empty")
+            .min(BURST);
+
+        for lane in &mut active {
+            lane.decode_burst(burst);
+        }
+        // The interleaved hot loop: each iteration issues one record per
+        // lane, so the lanes' independent TLB/cache probe chains overlap
+        // in the core's load queue instead of serialising.
+        for k in 0..burst {
+            for lane in &mut active {
+                lane.step(k);
+            }
+        }
+    }
+
+    results.into_iter().map(|r| r.expect("every unit ran to completion")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::registry::PolicyKind;
+    use chirp_trace::gen::{ContextCopy, SpecLoops, WorkloadGen};
+    use chirp_trace::PackedTrace;
+
+    fn packed(instructions: usize, seed: u64) -> PackedTrace {
+        PackedTrace::from_records(&SpecLoops::default().generate(instructions, seed))
+    }
+
+    fn sequential(trace: &PackedTrace, policy: &PolicyKind, warmup: f64) -> RunResult {
+        let config = SimConfig::default();
+        let mut sim = Simulator::with_policy(&config, policy.build_dispatch(config.tlb.l2, 0));
+        sim.run_columnar(trace, warmup)
+    }
+
+    fn laned(
+        traces: &[PackedTrace],
+        policies: &[PolicyKind],
+        warmup: f64,
+        lanes: usize,
+    ) -> Vec<RunResult> {
+        let config = SimConfig::default();
+        let units = traces
+            .iter()
+            .zip(policies)
+            .map(|(t, p)| {
+                LaneUnit::new(
+                    Simulator::with_policy(&config, p.build_dispatch(config.tlb.l2, 0)),
+                    t,
+                    warmup,
+                )
+            })
+            .collect();
+        run_columnar_lanes(units, lanes)
+    }
+
+    #[test]
+    fn single_lane_matches_run_columnar() {
+        let trace = packed(20_000, 1);
+        let policy = PolicyKind::Lru;
+        let expect = sequential(&trace, &policy, 0.5);
+        let got = laned(std::slice::from_ref(&trace), &[policy], 0.5, 1);
+        assert_eq!(got, vec![expect]);
+    }
+
+    #[test]
+    fn interleaved_lanes_match_sequential_for_unequal_traces() {
+        // Different lengths so lanes retire at different times and the
+        // tail tapers below the lane width.
+        let traces = vec![packed(12_000, 1), packed(30_000, 2), packed(7_000, 3)];
+        let policies =
+            vec![PolicyKind::Lru, PolicyKind::Chirp(Default::default()), PolicyKind::Srrip];
+        let expect: Vec<RunResult> =
+            traces.iter().zip(&policies).map(|(t, p)| sequential(t, p, 0.5)).collect();
+        for lanes in [1, 2, 3, 4, 8] {
+            assert_eq!(laned(&traces, &policies, 0.5, lanes), expect, "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn warmup_extremes_and_empty_trace() {
+        let traces = vec![
+            packed(9_000, 4),
+            PackedTrace::from_records(&[]),
+            PackedTrace::from_records(&ContextCopy::default().generate(5_000, 5)),
+        ];
+        let policies = vec![PolicyKind::Ghrp, PolicyKind::Lru, PolicyKind::Ship];
+        for warmup in [0.0, 0.5, 1.0] {
+            let expect: Vec<RunResult> =
+                traces.iter().zip(&policies).map(|(t, p)| sequential(t, p, warmup)).collect();
+            assert_eq!(laned(&traces, &policies, warmup, 2), expect, "warmup={warmup}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count must be positive")]
+    fn zero_lanes_rejected() {
+        let trace = packed(1_000, 0);
+        let _ = laned(std::slice::from_ref(&trace), &[PolicyKind::Lru], 0.5, 0);
+    }
+}

@@ -14,7 +14,7 @@
 //!
 //! let trace = ContextCopy::default().generate(20_000, 1);
 //! let config = SimConfig::default();
-//! let mut sim = Simulator::new(&config, PolicyKind::Lru.build(config.tlb.l2, 0));
+//! let mut sim = Simulator::with_policy(&config, PolicyKind::Lru.build_dispatch(config.tlb.l2, 0));
 //! let result = sim.run(&trace, config.warmup_fraction);
 //! assert!(result.instructions > 0);
 //! ```
@@ -23,6 +23,7 @@ pub mod baseline;
 pub mod config;
 pub mod engine;
 pub mod experiments;
+pub mod lanes;
 pub mod metrics;
 pub mod registry;
 pub mod report;
@@ -33,6 +34,7 @@ pub mod telemetry;
 
 pub use config::SimConfig;
 pub use engine::Simulator;
+pub use lanes::{run_columnar_lanes, run_columnar_lanes_outcomes, LaneUnit};
 pub use metrics::RunResult;
 pub use registry::{PolicyDispatch, PolicyKind};
 pub use runner::{run_suite, run_suite_cached, BenchRun, CacheStats, RunnerConfig};

@@ -85,8 +85,12 @@ impl PolicyKind {
         }
     }
 
-    /// Instantiates the policy for `geometry`. `seed` feeds randomised
-    /// policies so whole-suite runs stay reproducible.
+    /// Instantiates the policy as a boxed trait object — the legacy
+    /// dynamic-dispatch form, feature-gated behind `legacy-dyn`. Kept so
+    /// the shim-equivalence test can keep constructing the retired
+    /// per-record path; everything else uses
+    /// [`build_dispatch`](Self::build_dispatch).
+    #[cfg(feature = "legacy-dyn")]
     pub fn build(&self, geometry: TlbGeometry, seed: u64) -> Box<dyn TlbReplacementPolicy> {
         match self {
             PolicyKind::Lru => Box::new(Lru::new(geometry)),
@@ -103,7 +107,7 @@ impl PolicyKind {
     }
 
     /// Instantiates the policy as an enum-dispatched [`PolicyDispatch`] —
-    /// the statically-dispatched counterpart of [`build`](Self::build) for
+    /// the statically-dispatched counterpart of the feature-gated `build` for
     /// the monomorphized hot loop. Produces the identical initial policy
     /// state for the same `(geometry, seed)`.
     pub fn build_dispatch(&self, geometry: TlbGeometry, seed: u64) -> PolicyDispatch {
@@ -237,8 +241,19 @@ mod tests {
     fn build_produces_matching_names() {
         let geom = TlbGeometry::default();
         for kind in PolicyKind::paper_lineup() {
-            let policy = kind.build(geom, 0);
+            let policy = kind.build_dispatch(geom, 0);
             assert_eq!(policy.name(), kind.name());
+        }
+    }
+
+    /// The legacy boxed constructor must stay name-identical to the
+    /// dispatch form while the shim exists.
+    #[cfg(feature = "legacy-dyn")]
+    #[test]
+    fn legacy_build_matches_dispatch_names() {
+        let geom = TlbGeometry::default();
+        for kind in PolicyKind::paper_lineup() {
+            assert_eq!(kind.build(geom, 0).name(), kind.build_dispatch(geom, 0).name());
         }
     }
 
@@ -264,8 +279,8 @@ mod tests {
     fn chirp_storage_is_smallest_predictive_policy() {
         // §VI-H: CHiRP needs one table vs GHRP's three.
         let geom = TlbGeometry::default();
-        let chirp = PolicyKind::Chirp(ChirpConfig::default()).build(geom, 0);
-        let ghrp = PolicyKind::Ghrp.build(geom, 0);
+        let chirp = PolicyKind::Chirp(ChirpConfig::default()).build_dispatch(geom, 0);
+        let ghrp = PolicyKind::Ghrp.build_dispatch(geom, 0);
         assert!(chirp.storage().table_bits < ghrp.storage().table_bits);
     }
 }

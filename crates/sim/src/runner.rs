@@ -17,9 +17,10 @@
 
 use crate::config::SimConfig;
 use crate::engine::Simulator;
+use crate::lanes::{run_columnar_lanes, LaneUnit};
 use crate::metrics::RunResult;
 use crate::registry::PolicyKind;
-use crate::sched::{run_units, WorkItem};
+use crate::sched::{run_unit_groups, WorkItem};
 use crate::store_cache::{record_from_run, run_from_record, run_key};
 use chirp_store::archive::ArchiveOutcome;
 use chirp_store::{Store, StoreError, TraceArchive};
@@ -48,6 +49,16 @@ pub struct RunnerConfig {
     /// rather than deadlock. Does not enter result identity: ledger keys
     /// ignore it, and results are bit-identical at any budget.
     pub mem_budget: Option<u64>,
+    /// Lane width for the software-pipelined hot loop: up to this many
+    /// same-trace (benchmark × policy) units are interleaved through one
+    /// instruction loop per worker ([`crate::run_columnar_lanes`]).
+    /// `0` and `1` both mean sequential execution. Purely an execution-
+    /// strategy knob — results are bit-identical at any width (pinned by
+    /// `tests/equivalence_matrix.rs`), so it is excluded from ledger run
+    /// keys, and configs serialized before the field existed default to
+    /// sequential.
+    #[serde(default)]
+    pub lanes: usize,
 }
 
 impl Default for RunnerConfig {
@@ -58,6 +69,7 @@ impl Default for RunnerConfig {
             sim: SimConfig::default(),
             store: None,
             mem_budget: None,
+            lanes: 1,
         }
     }
 }
@@ -75,6 +87,13 @@ impl RunnerConfig {
     /// real size is known.
     pub(crate) fn trace_estimate(&self) -> u64 {
         PackedTrace::estimate_bytes(self.instructions)
+    }
+
+    /// Lane width actually dispatched: `lanes` clamped to at least 1, so
+    /// the zero that `#[serde(default)]` gives old configs (and any
+    /// miscomputed width) degrades to sequential execution.
+    pub fn lane_width(&self) -> usize {
+        self.lanes.max(1)
     }
 }
 
@@ -121,38 +140,52 @@ fn run_suite_direct(
     let work: Vec<WorkItem> = (0..suite.len())
         .map(|bench| WorkItem { bench, policies: (0..policies.len()).collect() })
         .collect();
-    let (results, _) = run_units(
+    let (results, _) = run_unit_groups(
         &work,
         config.worker_threads(),
         config.trace_estimate(),
         config.mem_budget,
+        config.lane_width(),
         |item| Ok(suite[item.bench].generate_packed(config.instructions)),
-        |w, pos, trace| simulate_pair(suite, policies, config, &work[w], pos, trace),
+        |w, positions, trace| simulate_group(suite, policies, config, &work[w], positions, trace),
     )
     .expect("direct fetch is infallible");
     results.into_iter().flatten().collect()
 }
 
-/// Builds and runs one (benchmark × policy) simulation over a shared
-/// packed trace, on the monomorphized columnar hot loop
-/// ([`crate::PolicyDispatch`] + [`Simulator::run_columnar`]). Results are
-/// bit-identical to the legacy `Simulator::new` + `run` path — pinned by
-/// the 9-policy × 4-benchmark matrix in `tests/equivalence_matrix.rs` and
-/// by `scheduler_reproduces_benchwise_baseline_exactly` below.
-fn simulate_pair(
+/// Builds and runs a group of same-benchmark (benchmark × policy)
+/// simulations over a shared packed trace, software-pipelined through the
+/// multi-lane interleaved loop ([`crate::run_columnar_lanes`]) at the
+/// group's width. A single-unit group degenerates to the sequential
+/// columnar loop. Each unit's result is bit-identical to the legacy
+/// `Simulator::new` + `run` path — pinned by the lane and shim matrices
+/// in `tests/equivalence_matrix.rs` and by
+/// `scheduler_reproduces_benchwise_baseline_exactly` below.
+fn simulate_group(
     suite: &[BenchmarkSpec],
     policies: &[PolicyKind],
     config: &RunnerConfig,
     item: &WorkItem,
-    pos: usize,
+    positions: &[usize],
     trace: &PackedTrace,
-) -> BenchRun {
+) -> Vec<BenchRun> {
     let bench = &suite[item.bench];
-    let policy = &policies[item.policies[pos]];
-    let mut sim =
-        Simulator::with_policy(&config.sim, policy.build_dispatch(config.sim.tlb.l2, bench.seed));
-    let result = sim.run_columnar(trace, config.sim.warmup_fraction);
-    BenchRun { benchmark: bench.name.clone(), category: bench.category, result }
+    let units: Vec<_> = positions
+        .iter()
+        .map(|&pos| {
+            let policy = &policies[item.policies[pos]];
+            let sim = Simulator::with_policy(
+                &config.sim,
+                policy.build_dispatch(config.sim.tlb.l2, bench.seed),
+            );
+            LaneUnit::new(sim, trace, config.sim.warmup_fraction)
+        })
+        .collect();
+    let lanes = units.len();
+    run_columnar_lanes(units, lanes)
+        .into_iter()
+        .map(|result| BenchRun { benchmark: bench.name.clone(), category: bench.category, result })
+        .collect()
 }
 
 /// What `run_suite_cached` did to satisfy a request.
@@ -218,13 +251,16 @@ pub fn run_suite_cached(
 
     if !work.is_empty() {
         let archive = Mutex::new(&mut store.archive);
-        let (results, _) = run_units(
+        let (results, _) = run_unit_groups(
             &work,
             config.worker_threads(),
             config.trace_estimate(),
             config.mem_budget,
+            config.lane_width(),
             |item| fetch_archived(&archive, &suite[item.bench], config.instructions),
-            |w, pos, trace| simulate_pair(suite, policies, config, &work[w], pos, trace),
+            |w, positions, trace| {
+                simulate_group(suite, policies, config, &work[w], positions, trace)
+            },
         )?;
 
         let archive_stats = store.archive.stats();

@@ -133,7 +133,9 @@ struct State {
 
 enum Task {
     Fetch(usize),
-    Sim(usize, usize),
+    /// A group of same-work-item simulation tasks (positions into the
+    /// item's `policies`), claimed together for lane dispatch.
+    Sim(usize, Vec<usize>),
     Done,
 }
 
@@ -162,6 +164,39 @@ where
     S: Fn(usize, usize, &PackedTrace) -> R + Sync,
     R: Send,
 {
+    run_unit_groups(work, threads, est_bytes, budget, 1, fetch, |w, positions, trace| {
+        positions.iter().map(|&pos| simulate(w, pos, trace)).collect()
+    })
+}
+
+/// [`run_units`] with multi-lane dispatch: ready simulation tasks that
+/// share a work item's trace are claimed in groups of up to `lanes` and
+/// handed to `simulate_group` together, so the callee can software-
+/// pipeline them through one interleaved instruction loop
+/// ([`crate::run_columnar_lanes`]) instead of running them back to back.
+///
+/// `simulate_group` receives `(work index, policy positions, trace)` and
+/// must return one result per position, in order. Grouping only ever
+/// merges tasks of the *same* work item (they share the `Arc<PackedTrace>`
+/// by construction), and any partition of a work item's tasks into groups
+/// is result-identical because the units are independent — so budget
+/// admission, trace retirement and output order are exactly those of
+/// `run_units`. One latency sample is recorded per group.
+pub fn run_unit_groups<F, S, R>(
+    work: &[WorkItem],
+    threads: usize,
+    est_bytes: u64,
+    budget: Option<u64>,
+    lanes: usize,
+    fetch: F,
+    simulate_group: S,
+) -> Result<(Vec<Vec<R>>, SchedulerSummary), StoreError>
+where
+    F: Fn(&WorkItem) -> Result<PackedTrace, StoreError> + Sync,
+    S: Fn(usize, &[usize], &PackedTrace) -> Vec<R> + Sync,
+    R: Send,
+{
+    let lanes = lanes.max(1);
     let started = Instant::now();
     let threads = threads.max(1);
     let state = Mutex::new(State {
@@ -193,7 +228,7 @@ where
             let cvar = &cvar;
             let results = &results;
             let fetch = &fetch;
-            let simulate = &simulate;
+            let simulate_group = &simulate_group;
             let queue_depth = &queue_depth;
             let sim_latency = &sim_latency;
             scope.spawn(move || loop {
@@ -201,9 +236,21 @@ where
                     let mut st = state.lock().expect("scheduler lock");
                     loop {
                         if let Some((w, pos)) = st.ready.pop_front() {
+                            // Claim up to `lanes` ready tasks that share
+                            // this task's trace. Same-item tasks are
+                            // enqueued contiguously, so a front-run scan
+                            // finds them; whatever a concurrent worker
+                            // already claimed simply isn't there.
+                            let mut group = vec![pos];
+                            while group.len() < lanes
+                                && st.ready.front().is_some_and(|&(w2, _)| w2 == w)
+                            {
+                                let (_, p) = st.ready.pop_front().expect("front checked");
+                                group.push(p);
+                            }
                             st.active += 1;
-                            queue_depth.add(-1);
-                            break Task::Sim(w, pos);
+                            queue_depth.add(-(group.len() as i64));
+                            break Task::Sim(w, group);
                         }
                         if st.next < work.len() && st.error.is_none() {
                             // Always admit when nothing is resident or in
@@ -266,19 +313,25 @@ where
                         }
                         cvar.notify_all();
                     }
-                    Task::Sim(w, pos) => {
+                    Task::Sim(w, group) => {
                         let trace = {
                             let st = state.lock().expect("scheduler lock");
                             Arc::clone(st.traces.get(&w).expect("ready task has resident trace"))
                         };
                         let sim_started = Instant::now();
-                        let r = simulate(w, pos, &trace);
+                        let rs = simulate_group(w, &group, &trace);
                         sim_latency.record(sim_started.elapsed().as_micros() as u64);
                         drop(trace);
-                        results.lock().expect("results lock")[w][pos] = Some(r);
+                        assert_eq!(rs.len(), group.len(), "one result per group position");
+                        {
+                            let mut slots = results.lock().expect("results lock");
+                            for (&pos, r) in group.iter().zip(rs) {
+                                slots[w][pos] = Some(r);
+                            }
+                        }
                         let mut st = state.lock().expect("scheduler lock");
                         st.active -= 1;
-                        st.remaining[w] -= 1;
+                        st.remaining[w] -= group.len();
                         if st.remaining[w] == 0 {
                             if let Some(t) = st.traces.remove(&w) {
                                 st.resident_bytes -= t.resident_bytes();
@@ -353,6 +406,40 @@ mod tests {
         assert!(summary.peak_resident_bytes > 0);
         assert_eq!(summary.sim_latency_us.total(), 4, "one latency sample per sim task");
         assert!(summary.peak_ready_queue >= 1, "tasks must have queued at least once");
+    }
+
+    /// Lane-group dispatch: a single worker with `lanes = 4` must claim
+    /// same-item tasks in groups (never crossing work items), cover every
+    /// task exactly once, and land results in input order.
+    #[test]
+    fn grouped_dispatch_preserves_order_and_covers_every_task() {
+        let work = vec![
+            WorkItem { bench: 0, policies: vec![10, 11, 12, 13, 14] },
+            WorkItem { bench: 1, policies: vec![20, 21] },
+        ];
+        let max_group = AtomicUsize::new(0);
+        let (results, summary) = run_unit_groups(
+            &work,
+            1,
+            64,
+            None,
+            4,
+            |item| Ok(trace_of_len(10 * (item.bench + 1))),
+            |w, positions, trace| {
+                max_group.fetch_max(positions.len(), Ordering::SeqCst);
+                positions.iter().map(|&pos| (w, work[w].policies[pos], trace.len())).collect()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            results,
+            vec![
+                vec![(0, 10, 10), (0, 11, 10), (0, 12, 10), (0, 13, 10), (0, 14, 10)],
+                vec![(1, 20, 20), (1, 21, 20)],
+            ]
+        );
+        assert_eq!(summary.sim_tasks, 7);
+        assert_eq!(max_group.load(Ordering::SeqCst), 4, "a full lane group must form");
     }
 
     /// The lock-splitting satellite's regression probe: two workers that

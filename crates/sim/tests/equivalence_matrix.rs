@@ -1,16 +1,26 @@
-//! The tentpole equivalence gate for the monomorphized columnar hot loop:
-//! for every in-tree policy on every suite benchmark, the new path
-//! (`Simulator::with_policy` over [`PolicyDispatch`] + `run_columnar`)
-//! must reproduce the legacy path (`Simulator::new` over
-//! `Box<dyn TlbReplacementPolicy>` + per-record `run`) bit for bit —
-//! `RunResult` (which embeds the measured `TlbStats`), the L2 totals, and
-//! CHiRP's internal counters.
+//! The tentpole equivalence gates for the fast execution paths.
+//!
+//! Two layers, both pinning bit-identical `RunResult`s (which embed the
+//! measured `TlbStats`), L2 totals and CHiRP's internal counters:
+//!
+//! 1. **Lane matrix** (always on): the multi-lane software-pipelined
+//!    engine ([`chirp_sim::run_columnar_lanes`]) must reproduce a
+//!    sequential `run_columnar` of every unit, for every in-tree policy
+//!    on suite benchmarks, across lane widths (including widths that do
+//!    not divide the unit count) and warmup fractions that cut
+//!    mid-chunk.
+//! 2. **Legacy shim** (behind the `legacy-dyn` feature): the retired
+//!    dynamic-dispatch path (`Simulator::new` over
+//!    `Box<dyn TlbReplacementPolicy>` + per-record `run`) must agree
+//!    with the monomorphized columnar path — run via
+//!    `cargo test --features legacy-dyn` (CI does) to prove the shim.
 
 use chirp_core::{Chirp, ChirpConfig};
-use chirp_sim::{PolicyKind, RunResult, SimConfig, Simulator};
+use chirp_sim::{run_columnar_lanes, LaneUnit, PolicyKind, RunResult, SimConfig, Simulator};
 use chirp_tlb::{TlbReplacementPolicy, TlbStats};
 use chirp_trace::suite::{build_suite, SuiteConfig};
 use chirp_trace::PackedTrace;
+use proptest::prelude::*;
 
 const INSTRUCTIONS: usize = 30_000;
 const BENCHMARKS: usize = 4;
@@ -25,20 +35,14 @@ fn lineup9() -> Vec<PolicyKind> {
     policies
 }
 
+#[derive(PartialEq, Debug)]
 struct PathOutcome {
     result: RunResult,
     stats_total: TlbStats,
     chirp: Option<chirp_core::policy::ChirpCounters>,
 }
 
-fn legacy_path(
-    policy: &PolicyKind,
-    config: &SimConfig,
-    trace: &PackedTrace,
-    seed: u64,
-) -> PathOutcome {
-    let mut sim = Simulator::new(config, policy.build(config.tlb.l2, seed));
-    let result = sim.run(trace, config.warmup_fraction);
+fn outcome_of(sim: Simulator<chirp_sim::PolicyDispatch>, result: RunResult) -> PathOutcome {
     let stats_total = sim.tlbs().l2().stats();
     let chirp = sim
         .tlbs()
@@ -58,67 +62,218 @@ fn columnar_path(
 ) -> PathOutcome {
     let mut sim = Simulator::with_policy(config, policy.build_dispatch(config.tlb.l2, seed));
     let result = sim.run_columnar(trace, config.warmup_fraction);
-    let stats_total = sim.tlbs().l2().stats();
-    let chirp = sim
-        .tlbs()
-        .l2()
-        .policy()
-        .as_any()
-        .and_then(|a| a.downcast_ref::<Chirp>())
-        .map(|c| c.counters());
-    PathOutcome { result, stats_total, chirp }
+    outcome_of(sim, result)
 }
 
+/// Runs one unit per (trace, policy) pair through the lane engine at the
+/// given width and returns each unit's outcome, in input order.
+fn lane_path(
+    pairs: &[(&PackedTrace, &PolicyKind, u64)],
+    config: &SimConfig,
+    lanes: usize,
+) -> Vec<RunResult> {
+    let units = pairs
+        .iter()
+        .map(|(trace, policy, seed)| {
+            LaneUnit::new(
+                Simulator::with_policy(config, policy.build_dispatch(config.tlb.l2, *seed)),
+                trace,
+                config.warmup_fraction,
+            )
+        })
+        .collect();
+    run_columnar_lanes(units, lanes)
+}
+
+/// The tentpole gate: every (benchmark × policy) unit through the lane
+/// engine, at widths 1/2/4/8, must be bit-identical to its sequential
+/// `run_columnar`. The 9-policy × `BENCHMARKS` grid gives 36 units, so
+/// widths 8 and (after retirements) 4 exercise unit counts that do not
+/// divide the lane width and traces retiring mid-flight.
 #[test]
-fn columnar_dispatch_matches_legacy_for_every_policy_and_benchmark() {
+fn lane_engine_matches_sequential_for_every_policy_and_benchmark() {
     let suite = build_suite(&SuiteConfig { benchmarks: BENCHMARKS });
     let config = SimConfig::default();
     let policies = lineup9();
     assert_eq!(policies.len(), 9);
 
-    for bench in &suite {
-        let trace = bench.generate_packed(INSTRUCTIONS);
+    let traces: Vec<(String, u64, PackedTrace)> = suite
+        .iter()
+        .map(|b| (b.name.to_string(), b.seed, b.generate_packed(INSTRUCTIONS)))
+        .collect();
+    let mut pairs = Vec::new();
+    let mut expected = Vec::new();
+    for (name, seed, trace) in &traces {
         for policy in &policies {
-            let legacy = legacy_path(policy, &config, &trace, bench.seed);
-            let columnar = columnar_path(policy, &config, &trace, bench.seed);
-            let label = format!("{} on {}", policy.name(), bench.name);
-            assert_eq!(columnar.result, legacy.result, "RunResult diverged: {label}");
-            assert_eq!(columnar.stats_total, legacy.stats_total, "TlbStats diverged: {label}");
-            assert_eq!(columnar.chirp, legacy.chirp, "ChirpCounters diverged: {label}");
-            if matches!(policy, PolicyKind::Chirp(_)) {
-                assert!(columnar.chirp.is_some(), "CHiRP counters must be reachable: {label}");
-            }
+            pairs.push((trace, policy, *seed));
+            expected.push((
+                format!("{} on {}", policy.name(), name),
+                columnar_path(policy, &config, trace, *seed),
+            ));
+        }
+    }
+    for lanes in [1, 2, 4, 8] {
+        let got = lane_path(&pairs, &config, lanes);
+        for (result, (label, want)) in got.into_iter().zip(&expected) {
+            assert_eq!(result, want.result, "RunResult diverged at lanes={lanes}: {label}");
         }
     }
 }
 
-/// Warmup edge cases: 0% (whole trace measured), 100% (empty window) and a
-/// fraction that cuts mid-chunk must all agree between the paths.
+/// Lane-engine policy state must match too, not just the run totals: the
+/// CHiRP counters and L2 stats of a laned unit agree with sequential.
 #[test]
-fn columnar_matches_legacy_at_warmup_extremes() {
-    let suite = build_suite(&SuiteConfig { benchmarks: 1 });
-    let bench = &suite[0];
-    let trace = bench.generate_packed(10_000);
+fn lane_engine_preserves_policy_state() {
+    let suite = build_suite(&SuiteConfig { benchmarks: 2 });
+    let config = SimConfig::default();
     let policy = PolicyKind::Chirp(ChirpConfig::default());
-    for warmup in [0.0, 0.1337, 0.5, 1.0] {
-        let config = SimConfig { warmup_fraction: warmup, ..SimConfig::default() };
-        let legacy = legacy_path(&policy, &config, &trace, bench.seed);
-        let columnar = columnar_path(&policy, &config, &trace, bench.seed);
-        assert_eq!(columnar.result, legacy.result, "warmup={warmup}");
-        assert_eq!(columnar.stats_total, legacy.stats_total, "warmup={warmup}");
-        assert_eq!(columnar.chirp, legacy.chirp, "warmup={warmup}");
+    let traces: Vec<PackedTrace> = suite.iter().map(|b| b.generate_packed(INSTRUCTIONS)).collect();
+
+    let units = traces
+        .iter()
+        .zip(&suite)
+        .map(|(trace, bench)| {
+            LaneUnit::new(
+                Simulator::with_policy(&config, policy.build_dispatch(config.tlb.l2, bench.seed)),
+                trace,
+                config.warmup_fraction,
+            )
+        })
+        .collect();
+    let laned = chirp_sim::run_columnar_lanes_outcomes(units, 2);
+    for ((trace, bench), (result, sim)) in traces.iter().zip(&suite).zip(laned) {
+        let got = outcome_of(sim, result);
+        let want = columnar_path(&policy, &config, trace, bench.seed);
+        assert_eq!(got, want, "policy state diverged on {}", bench.name);
+        assert!(got.chirp.is_some(), "CHiRP counters must be reachable");
     }
 }
 
-/// An empty trace must produce the same (all-zero window) result on both
-/// paths without panicking.
+/// An empty trace, a warmup-only unit and a normal unit must coexist in
+/// one lane group without panicking or diverging.
 #[test]
-fn columnar_handles_empty_trace() {
-    let trace = PackedTrace::from_records(&[]);
+fn lane_engine_handles_empty_and_degenerate_units() {
+    let suite = build_suite(&SuiteConfig { benchmarks: 1 });
+    let bench = &suite[0];
+    let trace = bench.generate_packed(10_000);
+    let empty = PackedTrace::from_records(&[]);
     let config = SimConfig::default();
     let policy = PolicyKind::Lru;
-    let legacy = legacy_path(&policy, &config, &trace, 0);
-    let columnar = columnar_path(&policy, &config, &trace, 0);
-    assert_eq!(columnar.result, legacy.result);
-    assert_eq!(columnar.result.instructions, 0);
+
+    let pairs =
+        [(&trace, &policy, bench.seed), (&empty, &policy, 0), (&trace, &policy, bench.seed)];
+    for lanes in [1, 2, 3, 8] {
+        let got = lane_path(&pairs, &config, lanes);
+        assert_eq!(got[0], columnar_path(&policy, &config, &trace, bench.seed).result);
+        assert_eq!(got[1].instructions, 0, "empty trace must measure zero instructions");
+        assert_eq!(got[0], got[2], "identical units must produce identical results");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random warmup fractions (cutting mid-chunk at arbitrary record
+    /// indices, including at lane-burst boundaries), random lane widths
+    /// and random trace lengths straddling the 4096-record chunk size:
+    /// every laned unit stays bit-identical to its sequential run.
+    #[test]
+    fn lane_engine_matches_sequential_under_random_warmup_cuts(
+        warmup_pm in 0u32..1001,
+        lanes in 1usize..9,
+        lens in proptest::collection::vec(1usize..9_000, 1..6),
+    ) {
+        let warmup = f64::from(warmup_pm) / 1000.0;
+        let suite = build_suite(&SuiteConfig { benchmarks: 1 });
+        let bench = &suite[0];
+        let config = SimConfig { warmup_fraction: warmup, ..SimConfig::default() };
+        let policies = lineup9();
+        let traces: Vec<PackedTrace> =
+            lens.iter().map(|&n| bench.generate_packed(n)).collect();
+        let pairs: Vec<(&PackedTrace, &PolicyKind, u64)> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t, &policies[i % policies.len()], bench.seed))
+            .collect();
+        let got = lane_path(&pairs, &config, lanes);
+        for ((trace, policy, seed), result) in pairs.iter().zip(got) {
+            let want = columnar_path(policy, &config, trace, *seed);
+            prop_assert_eq!(&result, &want.result, "lanes={}, warmup={}", lanes, warmup);
+        }
+    }
+}
+
+/// The retired dynamic-dispatch path must still agree with the columnar
+/// path while the `legacy-dyn` shim exists.
+#[cfg(feature = "legacy-dyn")]
+mod legacy_shim {
+    use super::*;
+
+    fn legacy_path(
+        policy: &PolicyKind,
+        config: &SimConfig,
+        trace: &PackedTrace,
+        seed: u64,
+    ) -> PathOutcome {
+        let mut sim = Simulator::new(config, policy.build(config.tlb.l2, seed));
+        let result = sim.run(trace, config.warmup_fraction);
+        let stats_total = sim.tlbs().l2().stats();
+        let chirp = sim
+            .tlbs()
+            .l2()
+            .policy()
+            .as_any()
+            .and_then(|a| a.downcast_ref::<Chirp>())
+            .map(|c| c.counters());
+        PathOutcome { result, stats_total, chirp }
+    }
+
+    #[test]
+    fn columnar_dispatch_matches_legacy_for_every_policy_and_benchmark() {
+        let suite = build_suite(&SuiteConfig { benchmarks: BENCHMARKS });
+        let config = SimConfig::default();
+        let policies = lineup9();
+
+        for bench in &suite {
+            let trace = bench.generate_packed(INSTRUCTIONS);
+            for policy in &policies {
+                let legacy = legacy_path(policy, &config, &trace, bench.seed);
+                let columnar = columnar_path(policy, &config, &trace, bench.seed);
+                let label = format!("{} on {}", policy.name(), bench.name);
+                assert_eq!(columnar, legacy, "paths diverged: {label}");
+                if matches!(policy, PolicyKind::Chirp(_)) {
+                    assert!(columnar.chirp.is_some(), "CHiRP counters must be reachable: {label}");
+                }
+            }
+        }
+    }
+
+    /// Warmup edge cases: 0% (whole trace measured), 100% (empty window)
+    /// and a fraction that cuts mid-chunk must all agree between the paths.
+    #[test]
+    fn columnar_matches_legacy_at_warmup_extremes() {
+        let suite = build_suite(&SuiteConfig { benchmarks: 1 });
+        let bench = &suite[0];
+        let trace = bench.generate_packed(10_000);
+        let policy = PolicyKind::Chirp(ChirpConfig::default());
+        for warmup in [0.0, 0.1337, 0.5, 1.0] {
+            let config = SimConfig { warmup_fraction: warmup, ..SimConfig::default() };
+            let legacy = legacy_path(&policy, &config, &trace, bench.seed);
+            let columnar = columnar_path(&policy, &config, &trace, bench.seed);
+            assert_eq!(columnar, legacy, "warmup={warmup}");
+        }
+    }
+
+    /// An empty trace must produce the same (all-zero window) result on
+    /// both paths without panicking.
+    #[test]
+    fn columnar_handles_empty_trace() {
+        let trace = PackedTrace::from_records(&[]);
+        let config = SimConfig::default();
+        let policy = PolicyKind::Lru;
+        let legacy = legacy_path(&policy, &config, &trace, 0);
+        let columnar = columnar_path(&policy, &config, &trace, 0);
+        assert_eq!(columnar.result, legacy.result);
+        assert_eq!(columnar.result.instructions, 0);
+    }
 }

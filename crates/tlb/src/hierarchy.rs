@@ -5,7 +5,7 @@ use crate::policy::TlbReplacementPolicy;
 use crate::tlb::L2Tlb;
 use crate::types::{TlbGeometry, TranslationKind};
 use crate::walker::PageWalker;
-use chirp_mem::PackedLru;
+use chirp_mem::{order_init, order_lru, order_mask, order_touch};
 use chirp_trace::BranchClass;
 use serde::{Deserialize, Serialize};
 
@@ -53,29 +53,46 @@ pub struct Translation {
     pub l2: Option<bool>,
 }
 
-/// Simple L1 TLB: set-associative, true-LRU, no policy hooks. Recency
-/// lives in one flat [`PackedLru`] allocation alongside the tag/valid
-/// arrays — no per-set heap indirection on the per-instruction path.
+/// Simple L1 TLB: set-associative, true-LRU, no policy hooks. Mirrors
+/// the `chirp_mem::Cache` layout: a flat `sets * ways` array of
+/// `vpn << 1 | 1` tag words (0 when invalid — the valid bit keeps an
+/// invalid slot from ever matching a key, and page numbers are at most
+/// 52 bits so the shift cannot overflow) plus one packed LRU-order word
+/// per set ([`chirp_mem::order_touch`]): a probe reads one contiguous
+/// 64-byte tag run for the 8-way geometry, and the recency update is a
+/// dozen ALU ops on a single word — tags stay read-only on hits. Fills
+/// prefer the lowest free way; the victim is the back of the order
+/// word, exact true LRU by construction. A per-set MRU memo collapses
+/// the dominant repeated-page case to one compare.
 #[derive(Debug, Clone)]
 struct L1Tlb {
     geometry: TlbGeometry,
-    tags: Vec<u64>,
-    valid: Vec<bool>,
-    lru: PackedLru,
+    /// `sets * ways` tag words (`vpn << 1 | 1`, 0 when invalid).
+    meta: Vec<u64>,
+    /// Per set: the packed LRU-order word.
+    order: Vec<u64>,
     hits: u64,
     misses: u64,
+    /// Per set: the most recently accessed vpn (hit or fill), `u64::MAX`
+    /// before the first access. A match proves the vpn is resident and
+    /// already MRU in its set — probe and recency stamp are skippable
+    /// with zero simulated-state change. A 4 KiB page covers 1024
+    /// sequential instruction fetches, making this the dominant i-side
+    /// path.
+    mru: Vec<u64>,
 }
 
 impl L1Tlb {
     fn new(geometry: TlbGeometry) -> Self {
         let sets = geometry.sets();
+        assert!(geometry.ways <= 16, "packed LRU order supports at most 16 ways");
         L1Tlb {
             geometry,
-            tags: vec![0; sets * geometry.ways],
-            valid: vec![false; sets * geometry.ways],
-            lru: PackedLru::new(sets, geometry.ways),
+            meta: vec![0; sets * geometry.ways],
+            order: vec![order_init(geometry.ways); sets],
             hits: 0,
             misses: 0,
+            mru: vec![u64::MAX; sets],
         }
     }
 
@@ -83,20 +100,75 @@ impl L1Tlb {
     #[inline]
     fn access(&mut self, vpn: u64) -> bool {
         let set = self.geometry.set_of(vpn);
-        let ways = self.geometry.ways;
-        let base = set * ways;
-        for way in 0..ways {
-            if self.valid[base + way] && self.tags[base + way] == vpn {
-                self.lru.touch(set, way);
+        if vpn == self.mru[set] {
+            self.hits += 1;
+            return true;
+        }
+        self.mru[set] = vpn;
+        if self.geometry.ways == 8 {
+            self.access_sized::<8>(set, vpn)
+        } else {
+            self.access_dyn(set, vpn, self.geometry.ways)
+        }
+    }
+
+    /// Probe with the associativity as a compile-time constant, so the
+    /// scan fully unrolls.
+    #[inline]
+    fn access_sized<const W: usize>(&mut self, set: usize, vpn: u64) -> bool {
+        let base = set * W;
+        let tags: &mut [u64; W] =
+            (&mut self.meta[base..base + W]).try_into().expect("slice spans W ways");
+        let key = vpn << 1 | 1;
+        let mask = order_mask(W);
+        let mut free = usize::MAX;
+        for (way, &tag) in tags.iter().enumerate() {
+            if tag == key {
+                self.order[set] = order_touch(self.order[set], way, mask);
                 self.hits += 1;
                 return true;
             }
+            if tag == 0 {
+                free = free.min(way);
+            }
         }
         self.misses += 1;
-        let way = (0..ways).find(|&w| !self.valid[base + w]).unwrap_or_else(|| self.lru.lru(set));
-        self.tags[base + way] = vpn;
-        self.valid[base + way] = true;
-        self.lru.touch(set, way);
+        let order = self.order[set];
+        // Lowest free way if the set has room, else the back of the
+        // order word — the exact LRU way.
+        let way = if free != usize::MAX { free } else { order_lru(order, W) };
+        tags[way] = key;
+        self.order[set] = order_touch(order, way, mask);
+        false
+    }
+
+    /// Runtime-trip-count fallback for unusual geometries.
+    fn access_dyn(&mut self, set: usize, vpn: u64, ways: usize) -> bool {
+        let base = set * ways;
+        let tags = &mut self.meta[base..base + ways];
+        let key = vpn << 1 | 1;
+        let mask = order_mask(ways);
+        let mut free = usize::MAX;
+        let mut hit = usize::MAX;
+        for (way, &tag) in tags.iter().enumerate() {
+            if tag == key {
+                hit = way;
+                break;
+            }
+            if tag == 0 {
+                free = free.min(way);
+            }
+        }
+        if hit != usize::MAX {
+            self.order[set] = order_touch(self.order[set], hit, mask);
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        let order = self.order[set];
+        let way = if free != usize::MAX { free } else { order_lru(order, ways) };
+        tags[way] = key;
+        self.order[set] = order_touch(order, way, mask);
         false
     }
 }

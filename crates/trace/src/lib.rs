@@ -36,7 +36,10 @@ pub use codec::{
     peek_record_count, read_trace, read_trace_packed, write_trace, write_trace_packed, CodecError,
 };
 pub use gen::Category;
-pub use packed::{PackedTrace, PackedTraceBuilder, TraceChunk, TraceChunks, TraceSource};
+pub use packed::{
+    ChunkCursor, DecodedBlock, PackedTrace, PackedTraceBuilder, TraceChunk, TraceChunks,
+    TraceSource,
+};
 pub use record::{BranchClass, InstrKind, TraceRecord};
 pub use stats::TraceStats;
 pub use suite::{BenchmarkSpec, SuiteConfig};

@@ -343,6 +343,140 @@ impl<'a> TraceChunk<'a> {
     pub fn records(&self) -> ChunkRecords<'a> {
         ChunkRecords { chunk: *self, idx: 0, ea: 0, target: 0 }
     }
+
+    /// A streaming cursor over this chunk for block decoding; see
+    /// [`ChunkCursor`].
+    pub fn cursor(&self) -> ChunkCursor<'a> {
+        ChunkCursor { chunk: *self, idx: 0, ea: 0, target: 0 }
+    }
+}
+
+/// Dense struct-of-arrays scratch for a block of decoded records.
+///
+/// Unlike the packed side tables, every column here has one slot per
+/// record: `eas[i]` is 0 unless record `i` is a memory access and
+/// `targets[i]` is 0 unless it is a branch — exactly the canonical
+/// [`TraceRecord`] field values. Consumers that software-pipeline several
+/// traces (the lane engine in `chirp-sim`) decode a block per lane up
+/// front, then walk the dense columns in an interleaved loop without any
+/// side-table cursor bookkeeping on the hot path.
+#[derive(Debug, Clone, Default)]
+pub struct DecodedBlock {
+    /// Instruction address per record.
+    pub pcs: Vec<u64>,
+    /// [`InstrKind`] per record.
+    pub kinds: Vec<InstrKind>,
+    /// Effective address per record (0 for non-memory records).
+    pub eas: Vec<u64>,
+    /// Branch target per record (0 for non-branch records).
+    pub targets: Vec<u64>,
+    /// Taken flag per record.
+    pub taken: Vec<bool>,
+}
+
+impl DecodedBlock {
+    /// An empty block with capacity for `n` records per column.
+    pub fn with_capacity(n: usize) -> DecodedBlock {
+        DecodedBlock {
+            pcs: Vec::with_capacity(n),
+            kinds: Vec::with_capacity(n),
+            eas: Vec::with_capacity(n),
+            targets: Vec::with_capacity(n),
+            taken: Vec::with_capacity(n),
+        }
+    }
+
+    /// Records currently held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// True when no records are held.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pcs.is_empty()
+    }
+
+    /// The record at `i`, reassembled from the columns.
+    #[inline]
+    pub fn record(&self, i: usize) -> TraceRecord {
+        TraceRecord {
+            pc: self.pcs[i],
+            kind: self.kinds[i],
+            effective_address: self.eas[i],
+            target: self.targets[i],
+            taken: self.taken[i],
+        }
+    }
+
+    fn clear(&mut self) {
+        self.pcs.clear();
+        self.kinds.clear();
+        self.eas.clear();
+        self.targets.clear();
+        self.taken.clear();
+    }
+}
+
+/// Streaming block decoder over one [`TraceChunk`].
+///
+/// Produced by [`TraceChunk::cursor`]. Each [`decode_into`] call expands
+/// the next `max` records of the chunk into a dense [`DecodedBlock`],
+/// advancing the cursor's side-table positions — so a consumer can pull
+/// the chunk in arbitrary block sizes and the concatenation of the blocks
+/// reproduces [`TraceChunk::records`] exactly.
+///
+/// [`decode_into`]: ChunkCursor::decode_into
+#[derive(Debug, Clone)]
+pub struct ChunkCursor<'a> {
+    chunk: TraceChunk<'a>,
+    idx: usize,
+    ea: usize,
+    target: usize,
+}
+
+impl ChunkCursor<'_> {
+    /// Records left to decode.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.chunk.len() - self.idx
+    }
+
+    /// Decodes up to `max` records into `block` (replacing its previous
+    /// contents) and returns how many were decoded — 0 once the chunk is
+    /// exhausted.
+    pub fn decode_into(&mut self, block: &mut DecodedBlock, max: usize) -> usize {
+        block.clear();
+        let n = self.remaining().min(max);
+        let start = self.idx;
+        let pcs = &self.chunk.pcs[start..start + n];
+        let kinds = &self.chunk.kinds[start..start + n];
+        block.pcs.extend_from_slice(pcs);
+        for (i, &k) in kinds.iter().enumerate() {
+            let kind = InstrKind::from_u8(k).expect("builder stores only valid kind discriminants");
+            block.kinds.push(kind);
+            let ea = if kind.is_memory() {
+                let ea = self.chunk.eas[self.ea];
+                self.ea += 1;
+                ea
+            } else {
+                0
+            };
+            block.eas.push(ea);
+            let target = if kind.is_branch() {
+                let t = self.chunk.targets[self.target];
+                self.target += 1;
+                t
+            } else {
+                0
+            };
+            block.targets.push(target);
+            block.taken.push(self.chunk.taken(start + i));
+        }
+        self.idx += n;
+        n
+    }
 }
 
 /// Iterator over the [`TraceChunk`]s of a trace; see
@@ -624,6 +758,51 @@ mod tests {
     }
 
     #[test]
+    fn cursor_block_decode_matches_record_iteration() {
+        let trace = mixed_trace();
+        let packed = PackedTrace::from_records(&trace);
+        let chunk = packed.chunks(trace.len()).next().expect("one chunk");
+        for block_size in 1..=trace.len() + 1 {
+            let mut cursor = chunk.cursor();
+            let mut block = DecodedBlock::with_capacity(block_size);
+            let mut rebuilt = Vec::new();
+            loop {
+                let n = cursor.decode_into(&mut block, block_size);
+                if n == 0 {
+                    break;
+                }
+                assert_eq!(block.len(), n);
+                for i in 0..n {
+                    rebuilt.push(block.record(i));
+                }
+            }
+            assert_eq!(cursor.remaining(), 0);
+            assert_eq!(rebuilt, trace, "block size {block_size} must reproduce the chunk");
+        }
+    }
+
+    #[test]
+    fn cursor_survives_warmup_split_halves() {
+        let trace = mixed_trace();
+        let packed = PackedTrace::from_records(&trace);
+        let chunk = packed.chunks(trace.len()).next().expect("one chunk");
+        for k in 0..=trace.len() {
+            let (head, tail) = chunk.split_at(k);
+            let mut rebuilt = Vec::new();
+            for part in [head, tail] {
+                let mut cursor = part.cursor();
+                let mut block = DecodedBlock::default();
+                while cursor.decode_into(&mut block, 3) > 0 {
+                    for i in 0..block.len() {
+                        rebuilt.push(block.record(i));
+                    }
+                }
+            }
+            assert_eq!(rebuilt, trace, "cursor over split at {k} must not shift side tables");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "chunk_size must be positive")]
     fn zero_chunk_size_rejected() {
         let _ = PackedTrace::from_records(&mixed_trace()).chunks(0);
@@ -704,6 +883,29 @@ mod tests {
                         prop_assert!(l > 0 && l <= chunk_size);
                     }
                 }
+            }
+
+            /// Block decoding through `ChunkCursor` at any block size over
+            /// any chunking yields the identical record sequence — the
+            /// contract the lane engine's per-lane decode phase rests on.
+            #[test]
+            fn cursor_decode_matches_per_record_path(
+                trace in vec(arb_record(), 0..300usize),
+                chunk_size in 1usize..80,
+                block_size in 1usize..48,
+            ) {
+                let packed = PackedTrace::from_records(&trace);
+                let mut rebuilt = Vec::new();
+                let mut block = DecodedBlock::with_capacity(block_size);
+                for chunk in packed.chunks(chunk_size) {
+                    let mut cursor = chunk.cursor();
+                    while cursor.decode_into(&mut block, block_size) > 0 {
+                        for i in 0..block.len() {
+                            rebuilt.push(block.record(i));
+                        }
+                    }
+                }
+                prop_assert_eq!(rebuilt, trace);
             }
 
             /// Splitting any chunk at any point preserves the sequence —

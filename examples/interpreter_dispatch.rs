@@ -19,7 +19,7 @@ fn main() {
 
     let config = SimConfig::default();
     let run = |label: &str, kind: PolicyKind| {
-        let mut sim = Simulator::new(&config, kind.build(config.tlb.l2, 11));
+        let mut sim = Simulator::with_policy(&config, kind.build_dispatch(config.tlb.l2, 11));
         let r = sim.run(&trace, config.warmup_fraction);
         println!("{label:<24} MPKI {:>8.3}  IPC {:.4}", r.mpki(), r.ipc());
     };

@@ -21,12 +21,12 @@ fn main() {
     let config = SimConfig::default();
 
     // Baseline: true LRU, the policy TLB literature usually assumes.
-    let mut sim = Simulator::new(&config, Box::new(Lru::new(config.tlb.l2)));
+    let mut sim = Simulator::with_policy(&config, Lru::new(config.tlb.l2));
     let lru = sim.run(&trace, config.warmup_fraction);
 
     // CHiRP with the paper's default configuration (1 KB prediction table).
     let chirp_policy = Chirp::new(config.tlb.l2, ChirpConfig::default());
-    let mut sim = Simulator::new(&config, Box::new(chirp_policy));
+    let mut sim = Simulator::with_policy(&config, chirp_policy);
     let chirp = sim.run(&trace, config.warmup_fraction);
 
     println!("\n             {:>10} {:>10}", "LRU", "CHiRP");

@@ -23,7 +23,7 @@ fn main() {
     let config = SimConfig::default();
     let mut lru_ipc = None;
     for kind in PolicyKind::paper_lineup() {
-        let mut sim = Simulator::new(&config, kind.build(config.tlb.l2, 7));
+        let mut sim = Simulator::with_policy(&config, kind.build_dispatch(config.tlb.l2, 7));
         let r = sim.run(&trace, config.warmup_fraction);
         let speedup = match lru_ipc {
             None => {

@@ -6,8 +6,9 @@
 #      epoch-telemetry variant guarding instrumentation overhead
 #      (telemetry_overhead_8t in the trajectory line).
 #   2. sim_throughput — single-thread instructions/sec of the
-#      monomorphized columnar hot loop vs the legacy Box<dyn> per-record
-#      path (instr_per_sec_1t / instr_per_sec_1t_dyn).
+#      monomorphized columnar hot loop (instr_per_sec_1t, the lanes=1
+#      sequential baseline) plus the multi-lane engine sweep
+#      (instr_per_sec_1t_lanes{2,4,8}, best_lanes, lane_speedup).
 #   3. serve_loadgen — end-to-end request throughput of chirp-serve under
 #      concurrent submit sessions against a spawned in-process server
 #      (serve_req_per_sec / serve_p50_ms / serve_p99_ms).
@@ -17,10 +18,11 @@
 #
 # Each bench appends one JSON line per invocation, so the file
 # accumulates a trajectory across commits. After running, the new
-# instr_per_sec_1t is compared against the previous sim_throughput line
-# and a >10% regression prints a loud warning (and exits non-zero under
-# CHIRP_BENCH_STRICT=1). Release profile: Criterion benches always build
-# optimized.
+# instr_per_sec_1t (lanes=1 baseline) AND the best number across the
+# lane sweep are each compared against the previous sim_throughput line;
+# a >10% regression on either prints a loud warning (and exits non-zero
+# under CHIRP_BENCH_STRICT=1). Release profile: Criterion benches always
+# build optimized.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,6 +34,16 @@ extract_ips() {
     [[ -f "$out" ]] || return 0
     grep '"bench":"sim_throughput"' "$out" | tail -n 1 |
         sed -n 's/.*"instr_per_sec_1t":\([0-9][0-9]*\).*/\1/p'
+}
+
+extract_best_ips() {
+    # Best throughput across the lane sweep in the last sim_throughput
+    # line (max of instr_per_sec_1t and instr_per_sec_1t_lanes{2,4,8}).
+    # Falls back to instr_per_sec_1t alone on pre-lane-sweep lines.
+    [[ -f "$out" ]] || return 0
+    grep '"bench":"sim_throughput"' "$out" | tail -n 1 |
+        grep -o '"instr_per_sec_1t[a-z0-9_]*":[0-9]*' |
+        sed 's/.*://' | sort -n | tail -n 1
 }
 
 extract_serve() {
@@ -57,6 +69,7 @@ guard() {
 }
 
 prev_ips="$(extract_ips)"
+prev_best_ips="$(extract_best_ips)"
 prev_serve="$(extract_serve)"
 
 cargo bench -p chirp-bench --bench suite_runner "$@"
@@ -73,4 +86,5 @@ if [[ -f "$out" ]]; then
 fi
 
 guard instr_per_sec_1t "$prev_ips" "$(extract_ips)"
+guard instr_per_sec_1t_best_lanes "$prev_best_ips" "$(extract_best_ips)"
 guard serve_req_per_sec "$prev_serve" "$(extract_serve)"

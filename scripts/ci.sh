@@ -26,6 +26,27 @@ cargo clippy --workspace --all-targets -- -D warnings -D clippy::perf
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> lane equivalence matrix (--release, plus the legacy-dyn shim)"
+# The lane engine's bit-identity gate reruns under the optimized profile:
+# the fast paths it pins (branchless probe, packed order word, lane
+# interleave) only take their real shape with optimizations on.
+cargo test --release -q -p chirp-sim --test equivalence_matrix
+cargo test --release -q -p chirp-sim --test equivalence_matrix --features legacy-dyn
+
+echo "==> legacy-dyn gate (dynamic dispatch must stay behind the feature)"
+# Simulator::new and PolicyKind::build exist only under the legacy-dyn
+# feature, so the default-feature builds above already reject ungated
+# callers at compile time. This check is the belt to that suspender:
+# every file with a Simulator::new call site must carry the cfg gate.
+ungated=""
+while IFS= read -r f; do
+    grep -q 'feature = "legacy-dyn"' "$f" || ungated="$ungated $f"
+done < <(grep -rl --include='*.rs' 'Simulator::new(' crates examples tests 2>/dev/null || true)
+if [[ -n "$ungated" ]]; then
+    echo "ERROR: Simulator::new used without a legacy-dyn feature gate in:$ungated" >&2
+    exit 1
+fi
+
 echo "==> cargo doc (no deps, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -9,7 +9,7 @@ use chirp_repro::trace::suite::{build_suite, SuiteConfig};
 
 fn mpki_for(policy: PolicyKind, trace: &[chirp_repro::trace::TraceRecord], seed: u64) -> f64 {
     let config = SimConfig::default();
-    let mut sim = Simulator::new(&config, policy.build(config.tlb.l2, seed));
+    let mut sim = Simulator::with_policy(&config, policy.build_dispatch(config.tlb.l2, seed));
     sim.run(trace, config.warmup_fraction).mpki()
 }
 
@@ -75,10 +75,10 @@ fn simulation_is_deterministic_across_runs() {
 fn warmup_window_is_excluded_from_measurement() {
     let trace = ContextCopy::default().generate(200_000, 0);
     let config = SimConfig::default();
-    let mut sim = Simulator::new(&config, Box::new(Lru::new(config.tlb.l2)));
+    let mut sim = Simulator::with_policy(&config, Lru::new(config.tlb.l2));
     let r = sim.run(&trace, 0.5);
     assert_eq!(r.instructions, 100_000);
-    let mut sim = Simulator::new(&config, Box::new(Lru::new(config.tlb.l2)));
+    let mut sim = Simulator::with_policy(&config, Lru::new(config.tlb.l2));
     let r_full = sim.run(&trace, 0.0);
     assert_eq!(r_full.instructions, 200_000);
     // Cold-start misses land in the warmup half: measured MPKI after warmup

@@ -12,7 +12,7 @@ fn drrip_and_perceptron_run_end_to_end() {
     let trace = ContextCopy::default().generate(200_000, 1);
     let config = SimConfig::default();
     for kind in [PolicyKind::Drrip, PolicyKind::PerceptronReuse] {
-        let mut sim = Simulator::new(&config, kind.build(config.tlb.l2, 1));
+        let mut sim = Simulator::with_policy(&config, kind.build_dispatch(config.tlb.l2, 1));
         let r = sim.run(&trace, config.warmup_fraction);
         assert_eq!(r.policy, kind.name());
         assert!(r.mpki() > 0.0);
@@ -24,7 +24,7 @@ fn perceptron_beats_lru_on_context_workload_but_not_chirp() {
     let trace = ContextCopy::default().generate(600_000, 2);
     let config = SimConfig::default();
     let run = |kind: PolicyKind| {
-        let mut sim = Simulator::new(&config, kind.build(config.tlb.l2, 2));
+        let mut sim = Simulator::with_policy(&config, kind.build_dispatch(config.tlb.l2, 2));
         sim.run(&trace, config.warmup_fraction).mpki()
     };
     let lru = run(PolicyKind::Lru);
@@ -39,7 +39,7 @@ fn indirect_history_matters_on_threaded_interpreters() {
     let trace = Interpreter::default().generate(800_000, 11);
     let config = SimConfig::default();
     let run = |cfg: ChirpConfig| {
-        let mut sim = Simulator::new(&config, Box::new(Chirp::new(config.tlb.l2, cfg)));
+        let mut sim = Simulator::with_policy(&config, Chirp::new(config.tlb.l2, cfg));
         sim.run(&trace, config.warmup_fraction).mpki()
     };
     let full = run(ChirpConfig::default());
@@ -58,9 +58,11 @@ fn psc_reduces_cycles_without_changing_miss_counts() {
     let mut psc_cfg = SimConfig::default();
     psc_cfg.tlb = TlbHierarchyConfig { psc: Some((64, 30)), ..psc_cfg.tlb };
 
-    let mut sim = Simulator::new(&base_cfg, PolicyKind::Lru.build(base_cfg.tlb.l2, 0));
+    let mut sim =
+        Simulator::with_policy(&base_cfg, PolicyKind::Lru.build_dispatch(base_cfg.tlb.l2, 0));
     let base = sim.run(&trace, 0.5);
-    let mut sim = Simulator::new(&psc_cfg, PolicyKind::Lru.build(psc_cfg.tlb.l2, 0));
+    let mut sim =
+        Simulator::with_policy(&psc_cfg, PolicyKind::Lru.build_dispatch(psc_cfg.tlb.l2, 0));
     let psc = sim.run(&trace, 0.5);
 
     assert_eq!(base.l2_tlb.misses, psc.l2_tlb.misses, "PSC must not change TLB behaviour");
