@@ -113,5 +113,23 @@ fn main() {
     );
     print_scheduler_summary("figure 3");
 
+    // With a store attached, close with the ledger's own account of what
+    // this invocation can now answer without simulating — rendered by the
+    // query engine, so the numbers match what `chirp-query --store` says.
+    if let Some(root) = &args.store {
+        match chirp_query::QueryIndex::from_store_root(root) {
+            Ok(index) => {
+                println!("==== Ledger ({}) ====", root.display());
+                for query in ["count", "argmin mpki where workload=zipfian", "argmax efficiency"] {
+                    match chirp_query::run_query(query, &index) {
+                        Ok(answer) => print!("$ {query}\n{}", answer.render_table()),
+                        Err(e) => eprintln!("[ledger] {query}: {e}"),
+                    }
+                }
+            }
+            Err(e) => eprintln!("[ledger] cannot index {}: {e}", root.display()),
+        }
+    }
+
     eprintln!("[{:>6.1}s] done", t0.elapsed().as_secs_f64());
 }

@@ -83,6 +83,7 @@ mod tests {
         UnitSeries {
             benchmark: benchmark.to_string(),
             policy: policy.to_string(),
+            run_key: 0,
             epoch_instructions: 1000,
             rows: misses
                 .iter()

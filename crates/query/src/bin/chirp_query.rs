@@ -1,0 +1,140 @@
+//! `chirp-query` — ask questions of the run ledger, telemetry series and
+//! bench trajectory from the command line.
+//!
+//! ```text
+//! chirp-query --store results/store "argmin mpki where workload=zipfian"
+//! chirp-query --store results/store "diff mpki between policy=lru vs policy=chirp"
+//! chirp-query --store results/store "regress mpki threshold 0.1"
+//! chirp-query --telemetry results/telemetry/telemetry_epochs.jsonl \
+//!     "max mpki from epochs where policy=chirp"
+//! chirp-query --jsonl BENCH_runner.json --raw \
+//!     "last instr_per_sec_1t from bench where bench=sim_throughput"
+//! ```
+//!
+//! Flags:
+//!
+//! ```text
+//! --store DIR        load DIR's run ledger as the `runs` table
+//! --telemetry FILE   load a telemetry epoch series as `epochs`
+//! --jsonl [T=]FILE   load a generic JSONL file as table T (default `bench`)
+//! --json             print JSONL instead of an aligned table
+//! --raw              print only the scalar (for scripts); exits 1 when
+//!                    the query has no scalar or matched nothing
+//! ```
+
+use chirp_query::{run_query, QueryIndex};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    stores: Vec<PathBuf>,
+    telemetry: Vec<PathBuf>,
+    jsonl: Vec<(String, PathBuf)>,
+    json: bool,
+    raw: bool,
+    query: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        stores: vec![],
+        telemetry: vec![],
+        jsonl: vec![],
+        json: false,
+        raw: false,
+        query: String::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    let mut exprs: Vec<String> = vec![];
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => {
+                args.stores.push(it.next().ok_or("--store needs a directory")?.into());
+            }
+            "--telemetry" => {
+                args.telemetry.push(it.next().ok_or("--telemetry needs a file")?.into());
+            }
+            "--jsonl" => {
+                let v = it.next().ok_or("--jsonl needs a file (or table=file)")?;
+                match v.split_once('=') {
+                    Some((table, file)) => args.jsonl.push((table.to_string(), file.into())),
+                    None => args.jsonl.push(("bench".to_string(), v.into())),
+                }
+            }
+            "--json" => args.json = true,
+            "--raw" => args.raw = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: chirp-query [--store DIR] [--telemetry FILE] [--jsonl [T=]FILE] \
+                     [--json|--raw] \"<query>\"\n       see `cargo doc -p chirp-query` for the \
+                     expression language"
+                        .to_string(),
+                )
+            }
+            _ if arg.starts_with("--") => return Err(format!("unknown flag {arg}")),
+            _ => exprs.push(arg),
+        }
+    }
+    if exprs.is_empty() {
+        return Err("missing query expression (try --help)".to_string());
+    }
+    // Allow the query to arrive as several shell words, unquoted.
+    args.query = exprs.join(" ");
+    if args.stores.is_empty() && args.telemetry.is_empty() && args.jsonl.is_empty() {
+        return Err("no data sources: pass --store, --telemetry or --jsonl".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("chirp-query: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut index = QueryIndex::new();
+    let loaded = (|| {
+        for dir in &args.stores {
+            index.add_store_root(dir)?;
+        }
+        for file in &args.telemetry {
+            index.add_epochs_file(file)?;
+        }
+        for (table, file) in &args.jsonl {
+            index.add_jsonl_file(table, file)?;
+        }
+        Ok::<(), chirp_query::QueryError>(())
+    })();
+    if let Err(e) = loaded {
+        eprintln!("chirp-query: {e}");
+        return ExitCode::from(2);
+    }
+    match run_query(&args.query, &index) {
+        Ok(answer) => {
+            if args.raw {
+                match answer.render_raw() {
+                    Some(value) => {
+                        println!("{value}");
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprintln!("chirp-query: no scalar to print (query matched nothing?)");
+                        ExitCode::FAILURE
+                    }
+                }
+            } else if args.json {
+                print!("{}", answer.render_json());
+                ExitCode::SUCCESS
+            } else {
+                print!("{}", answer.render_table());
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("chirp-query: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,566 @@
+//! Query evaluation and answer rendering.
+//!
+//! Evaluation never re-derives a stored number: aggregates that select a
+//! row (`min`, `max`, `argmin`, `first`, `last`, `show`, `best(...)`)
+//! return the row's [`JsonValue`] as parsed from disk, and rendering uses
+//! the same float formatting as [`JsonObject::to_json`] — so what a query
+//! prints is bit-identical to the ledger line it cites. Only `mean` and
+//! `sum` (and `diff`/`regress` deltas) compute fresh floats, because
+//! there is no stored byte sequence for them to preserve.
+
+use crate::expr::{Agg, CmpOp, Literal, Metric, Pred, Query};
+use crate::index::{QueryIndex, Row};
+use crate::QueryError;
+use chirp_store::{JsonObject, JsonValue};
+use chirp_trace::{workload_family, ZIPFIAN_FAMILIES};
+
+/// The result of evaluating a query: zero or more answer rows, each
+/// naming its source (`run <key>`, `run <key> epoch N` or
+/// `<table>:<line>`), plus the aggregate scalar when the query has one.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Answer {
+    /// Answer rows; every row carries a `source` field.
+    pub rows: Vec<JsonObject>,
+    /// The aggregate value, for queries that reduce to one.
+    pub scalar: Option<JsonValue>,
+}
+
+impl Answer {
+    /// Renders a value exactly as the store serialises it (floats via
+    /// Rust's shortest-roundtrip `{:?}`), so answers match ledger bytes.
+    pub fn render_value(v: &JsonValue) -> String {
+        match v {
+            JsonValue::Str(s) => s.clone(),
+            JsonValue::U64(n) => n.to_string(),
+            JsonValue::F64(f) => format!("{f:?}"),
+            JsonValue::Bool(b) => if *b { "true" } else { "false" }.to_string(),
+        }
+    }
+
+    /// The scalar alone, for scripting (`--raw`). `None` when the query
+    /// has no scalar (e.g. `show`) or matched nothing.
+    pub fn render_raw(&self) -> Option<String> {
+        self.scalar.as_ref().map(Self::render_value)
+    }
+
+    /// One JSON object per line: the scalar first (when present), then
+    /// every answer row. Lines parse with the store's flat JSON reader.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        if let Some(scalar) = &self.scalar {
+            let mut obj = JsonObject::new();
+            match scalar {
+                JsonValue::Str(s) => obj.set_str("scalar", s),
+                JsonValue::U64(n) => obj.set_u64("scalar", *n),
+                JsonValue::F64(f) => obj.set_f64("scalar", *f),
+                JsonValue::Bool(b) => obj.set_bool("scalar", *b),
+            };
+            out.push_str(&obj.to_json());
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&row.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// An aligned text table of the answer rows, scalar line first.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if let Some(scalar) = &self.scalar {
+            out.push_str(&format!("= {}\n", Self::render_value(scalar)));
+        }
+        if self.rows.is_empty() {
+            if self.scalar.is_none() {
+                out.push_str("(no rows)\n");
+            }
+            return out;
+        }
+        let columns = self.column_order();
+        let mut widths: Vec<usize> = columns.iter().map(String::len).collect();
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(self.rows.len());
+        for row in &self.rows {
+            let rendered: Vec<String> = columns
+                .iter()
+                .map(|c| row.get(c).map(Self::render_value).unwrap_or_default())
+                .collect();
+            for (w, cell) in widths.iter_mut().zip(&rendered) {
+                *w = (*w).max(cell.len());
+            }
+            cells.push(rendered);
+        }
+        let mut line = String::new();
+        for (i, (c, w)) in columns.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{c:<w$}"));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        for rendered in cells {
+            let mut line = String::new();
+            for (i, (cell, w)) in rendered.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<w$}"));
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Column order: identity fields first, then everything else the
+    /// rows carry (alphabetically, the store's key order), `source` last.
+    fn column_order(&self) -> Vec<String> {
+        const FRONT: [&str; 6] = ["benchmark", "bench", "policy", "workload", "epoch", "key"];
+        let mut columns: Vec<String> = Vec::new();
+        let push = |name: &str, columns: &mut Vec<String>| {
+            if !columns.iter().any(|c| c == name) {
+                columns.push(name.to_string());
+            }
+        };
+        for name in FRONT {
+            if self.rows.iter().any(|r| r.get(name).is_some()) {
+                push(name, &mut columns);
+            }
+        }
+        for row in &self.rows {
+            for (name, _) in row.iter() {
+                if name != "source" && !FRONT.contains(&name) {
+                    push(name, &mut columns);
+                }
+            }
+        }
+        push("source", &mut columns);
+        columns
+    }
+}
+
+/// Evaluates a parsed query against an index.
+pub fn eval(query: &Query, index: &QueryIndex) -> Result<Answer, QueryError> {
+    match query {
+        Query::Simple { agg, metric, table, pred } => {
+            let rows = resolve_table(index, table.as_deref())?;
+            eval_simple(*agg, metric.as_ref(), rows, pred.as_ref())
+        }
+        Query::Diff { metric, left, right, table } => {
+            let rows = resolve_table(index, table.as_deref())?;
+            Ok(eval_diff(metric, left, right, rows))
+        }
+        Query::Regress { metric, threshold, table, pred } => {
+            let rows = resolve_table(index, table.as_deref())?;
+            Ok(eval_regress(metric, *threshold, rows, pred.as_ref()))
+        }
+    }
+}
+
+fn resolve_table<'a>(index: &'a QueryIndex, name: Option<&str>) -> Result<&'a [Row], QueryError> {
+    let name = match name {
+        Some(n) => n,
+        None => index.default_table().ok_or_else(|| {
+            QueryError::Eval(format!(
+                "no default table — say `from <table>` (loaded: {})",
+                loaded_tables(index)
+            ))
+        })?,
+    };
+    index.table(name).ok_or_else(|| {
+        QueryError::Eval(format!("unknown table `{name}` (loaded: {})", loaded_tables(index)))
+    })
+}
+
+fn loaded_tables(index: &QueryIndex) -> String {
+    let names: Vec<&str> = index.table_names().collect();
+    if names.is_empty() {
+        "none".to_string()
+    } else {
+        names.join(", ")
+    }
+}
+
+fn eval_simple(
+    agg: Agg,
+    metric: Option<&Metric>,
+    rows: &[Row],
+    pred: Option<&Pred>,
+) -> Result<Answer, QueryError> {
+    let matching: Vec<&Row> =
+        rows.iter().filter(|r| pred.is_none_or(|p| eval_pred(r, p))).collect();
+    let Some(metric) = metric else {
+        // Bare `count`.
+        return Ok(Answer { rows: vec![], scalar: Some(JsonValue::U64(matching.len() as u64)) });
+    };
+    // Rows that actually carry the metric, with its stored value.
+    let pairs: Vec<(&Row, JsonValue)> =
+        matching.iter().filter_map(|r| metric_value(r, metric).map(|v| (*r, v))).collect();
+    let metric_name = metric_label(metric);
+    match agg {
+        Agg::Show => Ok(Answer {
+            rows: pairs.iter().map(|(r, v)| summary_row(r, &metric_name, v)).collect(),
+            scalar: None,
+        }),
+        Agg::Count => Ok(Answer { rows: vec![], scalar: Some(JsonValue::U64(pairs.len() as u64)) }),
+        Agg::First | Agg::Last => {
+            let picked = if agg == Agg::First { pairs.first() } else { pairs.last() };
+            Ok(answer_from_pick(picked, &metric_name))
+        }
+        Agg::Min | Agg::ArgMin | Agg::Max | Agg::ArgMax => {
+            let lower = matches!(agg, Agg::Min | Agg::ArgMin);
+            let mut best: Option<&(&Row, JsonValue)> = None;
+            let mut best_num = 0.0f64;
+            for pair in &pairs {
+                let Some(n) = pair.1.as_f64() else { continue };
+                if best.is_none() || (lower && n < best_num) || (!lower && n > best_num) {
+                    best = Some(pair);
+                    best_num = n;
+                }
+            }
+            Ok(answer_from_pick(best, &metric_name))
+        }
+        Agg::Mean | Agg::Sum => {
+            let nums: Vec<(&(&Row, JsonValue), f64)> =
+                pairs.iter().filter_map(|p| p.1.as_f64().map(|n| (p, n))).collect();
+            if nums.is_empty() {
+                return Ok(Answer::default());
+            }
+            let sum: f64 = nums.iter().map(|(_, n)| n).sum();
+            let value = if agg == Agg::Sum { sum } else { sum / nums.len() as f64 };
+            Ok(Answer {
+                rows: nums.iter().map(|((r, v), _)| summary_row(r, &metric_name, v)).collect(),
+                scalar: Some(JsonValue::F64(value)),
+            })
+        }
+    }
+}
+
+fn answer_from_pick(picked: Option<&(&Row, JsonValue)>, metric_name: &str) -> Answer {
+    match picked {
+        Some((row, value)) => {
+            Answer { rows: vec![summary_row(row, metric_name, value)], scalar: Some(value.clone()) }
+        }
+        None => Answer::default(),
+    }
+}
+
+/// Per-benchmark comparison: for every benchmark appearing in the table,
+/// the last row matching each side supplies the metric; the answer lists
+/// both values, their difference (`right - left`) and both sources.
+fn eval_diff(metric: &Metric, left: &Pred, right: &Pred, rows: &[Row]) -> Answer {
+    let mut answer = Answer::default();
+    for bench in distinct_benchmarks(rows) {
+        let side = |pred: &Pred| {
+            rows.iter()
+                .filter(|r| benchmark_of(r) == Some(bench) && eval_pred(r, pred))
+                .filter_map(|r| metric_value(r, metric).map(|v| (r, v)))
+                .next_back()
+        };
+        let (Some((lr, lv)), Some((rr, rv))) = (side(left), side(right)) else { continue };
+        let mut row = JsonObject::new();
+        row.set_str("benchmark", bench);
+        set_value(&mut row, "left", &lv);
+        set_value(&mut row, "right", &rv);
+        if let (Some(a), Some(b)) = (lv.as_f64(), rv.as_f64()) {
+            row.set_f64("delta", b - a);
+        }
+        row.set_str("source", &format!("{} vs {}", lr.source, rr.source));
+        answer.rows.push(row);
+    }
+    answer
+}
+
+/// History walk: group rows by (benchmark, policy), order by append
+/// position, and flag groups whose latest metric moved more than
+/// `threshold` (relative) from the value before it. The scalar is the
+/// number of flagged groups — `0` means the history is clean.
+fn eval_regress(metric: &Metric, threshold: f64, rows: &[Row], pred: Option<&Pred>) -> Answer {
+    type Group<'a> = ((&'a str, &'a str), Vec<(&'a Row, JsonValue)>);
+    let mut groups: Vec<Group<'_>> = Vec::new();
+    for row in rows.iter().filter(|r| pred.is_none_or(|p| eval_pred(r, p))) {
+        let Some(value) = metric_value(row, metric) else { continue };
+        let group = (benchmark_of(row).unwrap_or(""), row.fields.str_field("policy").unwrap_or(""));
+        match groups.iter_mut().find(|(g, _)| *g == group) {
+            Some((_, entries)) => entries.push((row, value)),
+            None => groups.push((group, vec![(row, value)])),
+        }
+    }
+    let mut answer = Answer::default();
+    let mut flagged = 0u64;
+    for ((bench, policy), entries) in &groups {
+        let [.., (prev_row, prev), (last_row, last)] = entries.as_slice() else { continue };
+        let (Some(a), Some(b)) = (prev.as_f64(), last.as_f64()) else { continue };
+        if a == 0.0 {
+            continue;
+        }
+        let change = (b - a) / a;
+        if change.abs() <= threshold {
+            continue;
+        }
+        flagged += 1;
+        let mut row = JsonObject::new();
+        if !bench.is_empty() {
+            row.set_str("benchmark", bench);
+        }
+        if !policy.is_empty() {
+            row.set_str("policy", policy);
+        }
+        set_value(&mut row, "prev", prev);
+        set_value(&mut row, "value", last);
+        row.set_f64("change", change);
+        row.set_str("source", &format!("{} (prev {})", last_row.source, prev_row.source));
+        answer.rows.push(row);
+    }
+    answer.scalar = Some(JsonValue::U64(flagged));
+    answer
+}
+
+/// Benchmark identity of a row: `benchmark` (runs/epochs) or `bench`
+/// (trajectory lines).
+fn benchmark_of(row: &Row) -> Option<&str> {
+    row.fields.str_field("benchmark").or_else(|| row.fields.str_field("bench"))
+}
+
+fn distinct_benchmarks(rows: &[Row]) -> Vec<&str> {
+    let mut out: Vec<&str> = Vec::new();
+    for row in rows {
+        if let Some(b) = benchmark_of(row) {
+            if !out.contains(&b) {
+                out.push(b);
+            }
+        }
+    }
+    out
+}
+
+fn metric_label(metric: &Metric) -> String {
+    match metric {
+        Metric::Field(name) => name.clone(),
+        Metric::Best(_) => "value".to_string(),
+    }
+}
+
+/// The stored value a metric selects on a row. `best(...)` picks the
+/// numerically largest of the listed fields but still returns the stored
+/// value, so rendering stays bit-identical to the source line.
+fn metric_value(row: &Row, metric: &Metric) -> Option<JsonValue> {
+    match metric {
+        Metric::Field(name) => row.fields.get(name).cloned(),
+        Metric::Best(names) => {
+            let mut best: Option<(f64, &JsonValue)> = None;
+            for name in names {
+                let Some(v) = row.fields.get(name) else { continue };
+                let Some(n) = v.as_f64() else { continue };
+                if best.is_none_or(|(b, _)| n > b) {
+                    best = Some((n, v));
+                }
+            }
+            best.map(|(_, v)| v.clone())
+        }
+    }
+}
+
+/// An answer row: the source citation, the row's identity fields and the
+/// metric value.
+fn summary_row(row: &Row, metric_name: &str, value: &JsonValue) -> JsonObject {
+    let mut out = JsonObject::new();
+    for name in ["benchmark", "bench", "policy", "workload", "epoch", "key"] {
+        if let Some(v) = row.fields.get(name) {
+            set_value(&mut out, name, v);
+        }
+    }
+    set_value(&mut out, metric_name, value);
+    out.set_str("source", &row.source);
+    out
+}
+
+fn set_value(obj: &mut JsonObject, key: &str, value: &JsonValue) {
+    match value {
+        JsonValue::Str(s) => obj.set_str(key, s),
+        JsonValue::U64(n) => obj.set_u64(key, *n),
+        JsonValue::F64(f) => obj.set_f64(key, *f),
+        JsonValue::Bool(b) => obj.set_bool(key, *b),
+    };
+}
+
+/// Evaluates a predicate against a row.
+pub fn eval_pred(row: &Row, pred: &Pred) -> bool {
+    match pred {
+        Pred::Cmp { field, op, value } => eval_cmp(row, field, *op, value),
+        Pred::And(l, r) => eval_pred(row, l) && eval_pred(row, r),
+        Pred::Or(l, r) => eval_pred(row, l) || eval_pred(row, r),
+        Pred::Not(inner) => !eval_pred(row, inner),
+    }
+}
+
+fn eval_cmp(row: &Row, field: &str, op: CmpOp, lit: &Literal) -> bool {
+    // `workload` is answerable on any row with a benchmark name, even
+    // tables that do not store the family explicitly.
+    let derived_workload;
+    let value = match row.fields.get(field) {
+        Some(v) => v,
+        None if field == "workload" => match benchmark_of(row) {
+            Some(b) => {
+                derived_workload = JsonValue::Str(workload_family(b).to_string());
+                &derived_workload
+            }
+            None => return false,
+        },
+        None => return false,
+    };
+    // `workload = zipfian` names the Zipfian-distributed family group,
+    // not a literal family string.
+    if field == "workload" && lit.text == "zipfian" && matches!(op, CmpOp::Eq | CmpOp::Ne) {
+        let member =
+            value.as_str().is_some_and(|w| w == "zipfian" || ZIPFIAN_FAMILIES.contains(&w));
+        return if op == CmpOp::Eq { member } else { !member };
+    }
+    // Numeric comparison whenever both sides read as numbers (except
+    // `~`, which is always textual).
+    if op != CmpOp::Contains {
+        if let (Some(a), Some(b)) = (value.as_f64(), lit.num) {
+            return match op {
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+                CmpOp::Contains => unreachable!(),
+            };
+        }
+    }
+    let text = Answer::render_value(value);
+    match op {
+        CmpOp::Eq => text == lit.text,
+        CmpOp::Ne => text != lit.text,
+        CmpOp::Contains => text.contains(&lit.text),
+        CmpOp::Lt => text.as_str() < lit.text.as_str(),
+        CmpOp::Le => text.as_str() <= lit.text.as_str(),
+        CmpOp::Gt => text.as_str() > lit.text.as_str(),
+        CmpOp::Ge => text.as_str() >= lit.text.as_str(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse;
+
+    fn row(seq: u64, json: &str) -> Row {
+        Row {
+            seq,
+            source: format!("run {seq:016x}"),
+            key: Some(seq),
+            fields: JsonObject::parse(json).unwrap(),
+        }
+    }
+
+    fn index_with(rows: Vec<Row>) -> QueryIndex {
+        // Build through the public loader path: write a ledger file.
+        // Simpler: a bench-style table via add_jsonl is enough for most
+        // engine tests, but these rows need keys, so construct the
+        // "runs" table through a temp store.
+        let dir = chirp_store::TempDir::new("chirp-query-engine");
+        let mut text = String::new();
+        for r in &rows {
+            let mut line = r.fields.clone();
+            line.set_str("key", &chirp_store::hex16(r.key.unwrap()));
+            text.push_str(&line.to_json());
+            text.push('\n');
+        }
+        std::fs::write(dir.path().join("runs.jsonl"), text).unwrap();
+        let index = QueryIndex::from_store_root(dir.path()).unwrap();
+        index
+    }
+
+    fn runs_index() -> QueryIndex {
+        index_with(vec![
+            row(1, "{\"schema\":2,\"benchmark\":\"db.scanidx.a#s1\",\"workload\":\"scanidx\",\"policy\":\"lru\",\"mpki\":4.25}"),
+            row(2, "{\"schema\":2,\"benchmark\":\"db.scanidx.a#s1\",\"workload\":\"scanidx\",\"policy\":\"chirp\",\"mpki\":2.5}"),
+            row(3, "{\"schema\":2,\"benchmark\":\"hpc.stream.b#s1\",\"workload\":\"stream\",\"policy\":\"chirp\",\"mpki\":1.75}"),
+        ])
+    }
+
+    #[test]
+    fn argmin_filters_by_zipfian_group_and_cites_its_source() {
+        let index = runs_index();
+        let q = parse("argmin mpki where workload=zipfian").unwrap();
+        let a = eval(&q, &index).unwrap();
+        // stream is not a zipfian family, so row 2 (mpki 2.5) wins.
+        assert_eq!(a.scalar, Some(JsonValue::F64(2.5)));
+        assert_eq!(a.rows.len(), 1);
+        assert_eq!(a.rows[0].str_field("policy"), Some("chirp"));
+        assert_eq!(a.rows[0].str_field("source"), Some("run 0000000000000002"));
+    }
+
+    #[test]
+    fn diff_joins_per_benchmark() {
+        let index = runs_index();
+        let q = parse("diff mpki between policy=lru vs policy=chirp").unwrap();
+        let a = eval(&q, &index).unwrap();
+        // Only db.scanidx.a#s1 has both sides.
+        assert_eq!(a.rows.len(), 1);
+        let r = &a.rows[0];
+        assert_eq!(r.f64_field("left"), Some(4.25));
+        assert_eq!(r.f64_field("right"), Some(2.5));
+        assert_eq!(r.f64_field("delta"), Some(-1.75));
+        assert_eq!(r.str_field("source"), Some("run 0000000000000001 vs run 0000000000000002"));
+    }
+
+    #[test]
+    fn regress_flags_only_shifts_beyond_threshold() {
+        let index = index_with(vec![
+            row(1, "{\"benchmark\":\"a.b.c#s1\",\"policy\":\"lru\",\"mpki\":4.0}"),
+            row(2, "{\"benchmark\":\"a.b.c#s1\",\"policy\":\"lru\",\"mpki\":6.0}"),
+            row(3, "{\"benchmark\":\"x.y.z#s1\",\"policy\":\"lru\",\"mpki\":4.0}"),
+            row(4, "{\"benchmark\":\"x.y.z#s1\",\"policy\":\"lru\",\"mpki\":4.1}"),
+        ]);
+        let q = parse("regress mpki").unwrap();
+        let a = eval(&q, &index).unwrap();
+        assert_eq!(a.scalar, Some(JsonValue::U64(1)));
+        assert_eq!(a.rows.len(), 1);
+        assert_eq!(a.rows[0].str_field("benchmark"), Some("a.b.c#s1"));
+        assert_eq!(a.rows[0].f64_field("change"), Some(0.5));
+        // A looser threshold clears it.
+        let q = parse("regress mpki threshold 0.6").unwrap();
+        let a = eval(&q, &index).unwrap();
+        assert_eq!(a.scalar, Some(JsonValue::U64(0)));
+        assert!(a.rows.is_empty());
+    }
+
+    #[test]
+    fn best_picks_the_rowwise_max_field() {
+        let dir = chirp_store::TempDir::new("chirp-query-best");
+        std::fs::write(
+            dir.path().join("traj.jsonl"),
+            "{\"bench\":\"sim_throughput\",\"instr_per_sec_1t\":100,\"instr_per_sec_1t_lanes2\":250}\n",
+        )
+        .unwrap();
+        let mut index = QueryIndex::new();
+        index.add_jsonl_file("bench", dir.path().join("traj.jsonl").as_path()).unwrap();
+        let q = parse("last best(instr_per_sec_1t,instr_per_sec_1t_lanes2,instr_per_sec_1t_lanes4) from bench")
+            .unwrap();
+        let a = eval(&q, &index).unwrap();
+        assert_eq!(a.scalar, Some(JsonValue::U64(250)));
+        assert_eq!(a.render_raw().as_deref(), Some("250"));
+    }
+
+    #[test]
+    fn float_rendering_matches_store_serialisation() {
+        assert_eq!(Answer::render_value(&JsonValue::F64(0.1 + 0.2)), "0.30000000000000004");
+        assert_eq!(Answer::render_value(&JsonValue::F64(2.5)), "2.5");
+        assert_eq!(Answer::render_value(&JsonValue::U64(14394858)), "14394858");
+    }
+
+    #[test]
+    fn unknown_table_is_a_clear_error() {
+        let index = runs_index();
+        let q = parse("count from nope").unwrap();
+        let err = eval(&q, &index).unwrap_err();
+        let QueryError::Eval(message) = err else { panic!("wrong error kind") };
+        assert!(message.contains("nope") && message.contains("runs"), "{message}");
+    }
+}

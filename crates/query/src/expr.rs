@@ -1,0 +1,647 @@
+//! The query expression language: tokenizer, recursive-descent parser and
+//! AST.
+//!
+//! The grammar is small enough to read in one sitting:
+//!
+//! ```text
+//! query    := simple | diff | regress
+//! simple   := AGG [metric] [ 'from' WORD ] [ 'where' pred ]
+//! diff     := 'diff' metric 'between' pred 'vs' pred [ 'from' WORD ]
+//! regress  := 'regress' metric [ 'threshold' NUMBER ] [ 'from' WORD ]
+//!             [ 'where' pred ]
+//! AGG      := 'min' | 'max' | 'mean' | 'sum' | 'count' | 'argmin'
+//!           | 'argmax' | 'first' | 'last' | 'show'
+//! metric   := WORD | 'best' '(' WORD (',' WORD)* ')'
+//! pred     := or
+//! or       := and ( 'or' and )*
+//! and      := unary ( 'and' unary )*
+//! unary    := 'not' unary | '(' pred ')' | cmp
+//! cmp      := WORD OP value
+//! OP       := '=' | '!=' | '<' | '<=' | '>' | '>=' | '~'
+//! value    := WORD | QUOTED
+//! ```
+//!
+//! `not` binds tighter than `and`, which binds tighter than `or` — the
+//! usual boolean precedence, pinned by the crate's property tests. Bare
+//! words cover benchmark names (`db.scanidx.i1024z0.9b64#s1`) and code
+//! versions (`chirp/1`) without quoting; anything containing an operator
+//! character or whitespace takes double quotes. The metric after `count`
+//! is optional (`count where policy=chirp` counts matching rows).
+
+use std::fmt;
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// An aggregate over the rows matching a predicate.
+    Simple {
+        /// The aggregate to apply.
+        agg: Agg,
+        /// The metric it applies to; `None` only for `count`.
+        metric: Option<Metric>,
+        /// Table to query (`from runs`), defaulting at eval time.
+        table: Option<String>,
+        /// Row filter; `None` keeps every row.
+        pred: Option<Pred>,
+    },
+    /// A per-benchmark comparison of one metric between two row sets.
+    Diff {
+        /// The metric compared.
+        metric: Metric,
+        /// Predicate selecting the left-hand rows.
+        left: Pred,
+        /// Predicate selecting the right-hand rows.
+        right: Pred,
+        /// Table to query.
+        table: Option<String>,
+    },
+    /// A walk over append-order history flagging metric shifts.
+    Regress {
+        /// The metric walked.
+        metric: Metric,
+        /// Relative-change threshold (default 0.1 = 10%).
+        threshold: f64,
+        /// Table to query.
+        table: Option<String>,
+        /// Row filter applied before grouping.
+        pred: Option<Pred>,
+    },
+}
+
+/// Aggregates available in `simple` queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// Smallest metric value.
+    Min,
+    /// Largest metric value.
+    Max,
+    /// Arithmetic mean of the metric.
+    Mean,
+    /// Sum of the metric.
+    Sum,
+    /// Number of matching rows (with the metric, when one is given).
+    Count,
+    /// The row holding the smallest metric value.
+    ArgMin,
+    /// The row holding the largest metric value.
+    ArgMax,
+    /// Metric of the first matching row in append order.
+    First,
+    /// Metric of the last matching row in append order.
+    Last,
+    /// Every matching row, unaggregated.
+    Show,
+}
+
+impl Agg {
+    fn from_word(w: &str) -> Option<Agg> {
+        Some(match w {
+            "min" => Agg::Min,
+            "max" => Agg::Max,
+            "mean" => Agg::Mean,
+            "sum" => Agg::Sum,
+            "count" => Agg::Count,
+            "argmin" => Agg::ArgMin,
+            "argmax" => Agg::ArgMax,
+            "first" => Agg::First,
+            "last" => Agg::Last,
+            "show" => Agg::Show,
+            _ => return None,
+        })
+    }
+}
+
+/// What a query measures: one field, or the row-wise best of several.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Metric {
+    /// A single field by name.
+    Field(String),
+    /// `best(f1,f2,...)` — per row, the largest of the listed fields
+    /// (fields absent from a row are skipped).
+    Best(Vec<String>),
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Metric::Field(name) => f.write_str(name),
+            Metric::Best(names) => write!(f, "best({})", names.join(",")),
+        }
+    }
+}
+
+/// A row predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// `field OP value`.
+    Cmp {
+        /// Field name on the row.
+        field: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand literal.
+        value: Literal,
+    },
+    /// Both sides must hold.
+    And(Box<Pred>, Box<Pred>),
+    /// Either side must hold.
+    Or(Box<Pred>, Box<Pred>),
+    /// The inner predicate must not hold.
+    Not(Box<Pred>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `~` — substring match on the string form.
+    Contains,
+}
+
+/// A literal: the raw text plus its numeric reading when it has one, so
+/// the evaluator can compare numerically against numeric fields and
+/// textually against string fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Literal {
+    /// The literal as written (quotes removed).
+    pub text: String,
+    /// `text` parsed as a number, when it parses.
+    pub num: Option<f64>,
+}
+
+impl Literal {
+    fn new(text: String) -> Literal {
+        let num = text.parse::<f64>().ok().filter(|n| n.is_finite());
+        Literal { text, num }
+    }
+}
+
+/// A parse failure: what was expected and the byte offset it failed at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the query text.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a query expression. Never panics: any input, including
+/// arbitrary bytes, yields `Ok` or a positioned [`ParseError`].
+pub fn parse(text: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(text)?;
+    let mut p = TokenParser { tokens: &tokens, pos: 0, end: text.len() };
+    let query = p.query()?;
+    match p.peek() {
+        None => Ok(query),
+        Some(t) => Err(ParseError {
+            message: format!("unexpected trailing input starting with {}", t.describe()),
+            at: t.at,
+        }),
+    }
+}
+
+// ---------------------------------------------------------------- tokens
+
+#[derive(Debug, Clone, PartialEq)]
+enum TokenKind {
+    Word(String),
+    Quoted(String),
+    Op(CmpOp),
+    LParen,
+    RParen,
+    Comma,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Token {
+    kind: TokenKind,
+    at: usize,
+}
+
+impl Token {
+    fn describe(&self) -> String {
+        match &self.kind {
+            TokenKind::Word(w) => format!("`{w}`"),
+            TokenKind::Quoted(_) => "a quoted string".to_string(),
+            TokenKind::Op(_) => "a comparison operator".to_string(),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+        }
+    }
+}
+
+/// Characters that terminate a bare word. Everything else — including
+/// `.`, `#`, `/`, `-` — is word material, so benchmark names and code
+/// versions need no quoting.
+fn is_word_break(c: char) -> bool {
+    c.is_whitespace() || matches!(c, '(' | ')' | ',' | '=' | '!' | '<' | '>' | '~' | '"')
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    while let Some(&(at, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::LParen, at });
+            }
+            ')' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::RParen, at });
+            }
+            ',' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::Comma, at });
+            }
+            '=' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::Op(CmpOp::Eq), at });
+            }
+            '~' => {
+                chars.next();
+                out.push(Token { kind: TokenKind::Op(CmpOp::Contains), at });
+            }
+            '!' => {
+                chars.next();
+                match chars.peek() {
+                    Some(&(_, '=')) => {
+                        chars.next();
+                        out.push(Token { kind: TokenKind::Op(CmpOp::Ne), at });
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            message: "`!` must be followed by `=`".to_string(),
+                            at,
+                        })
+                    }
+                }
+            }
+            '<' | '>' => {
+                chars.next();
+                let eq = matches!(chars.peek(), Some(&(_, '=')));
+                if eq {
+                    chars.next();
+                }
+                let op = match (c, eq) {
+                    ('<', false) => CmpOp::Lt,
+                    ('<', true) => CmpOp::Le,
+                    ('>', false) => CmpOp::Gt,
+                    _ => CmpOp::Ge,
+                };
+                out.push(Token { kind: TokenKind::Op(op), at });
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some((_, '"')) => break,
+                        Some((_, c)) => s.push(c),
+                        None => {
+                            return Err(ParseError {
+                                message: "unterminated quoted string".to_string(),
+                                at,
+                            })
+                        }
+                    }
+                }
+                out.push(Token { kind: TokenKind::Quoted(s), at });
+            }
+            _ => {
+                let mut word = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if is_word_break(c) {
+                        break;
+                    }
+                    word.push(c);
+                    chars.next();
+                }
+                out.push(Token { kind: TokenKind::Word(word), at });
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------- parser
+
+struct TokenParser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    /// Byte length of the source, for errors at end of input.
+    end: usize,
+}
+
+impl TokenParser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn at(&self) -> usize {
+        self.peek().map_or(self.end, |t| t.at)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), at: self.at() })
+    }
+
+    /// Consumes the next token if it is the keyword `word`.
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if let Some(Token { kind: TokenKind::Word(w), .. }) = self.peek() {
+            if w == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_word(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token { kind: TokenKind::Word(w), .. }) => {
+                let w = w.clone();
+                self.pos += 1;
+                Ok(w)
+            }
+            Some(t) => self.err(format!("expected {what}, found {}", t.describe())),
+            None => self.err(format!("expected {what}, found end of input")),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        if self.eat_keyword("diff") {
+            return self.diff();
+        }
+        if self.eat_keyword("regress") {
+            return self.regress();
+        }
+        let word = self.expect_word("an aggregate (min/max/mean/sum/count/argmin/argmax/first/last/show), `diff` or `regress`")?;
+        let Some(agg) = Agg::from_word(&word) else {
+            self.pos -= 1; // point the error at the bad word
+            return self.err(format!(
+                "unknown aggregate `{word}` (expected min/max/mean/sum/count/argmin/argmax/first/last/show, diff or regress)"
+            ));
+        };
+        // `count` may omit the metric; everything else requires one.
+        let metric = match self.peek() {
+            None => None,
+            Some(Token { kind: TokenKind::Word(w), .. }) if w == "from" || w == "where" => None,
+            _ => Some(self.metric()?),
+        };
+        if metric.is_none() && agg != Agg::Count {
+            return self.err(format!("`{word}` needs a metric (only `count` may omit it)"));
+        }
+        let table = self.table_clause()?;
+        let pred = self.where_clause()?;
+        Ok(Query::Simple { agg, metric, table, pred })
+    }
+
+    fn diff(&mut self) -> Result<Query, ParseError> {
+        let metric = self.metric()?;
+        if !self.eat_keyword("between") {
+            return self.err("`diff` expects `between <pred> vs <pred>`");
+        }
+        let left = self.pred()?;
+        if !self.eat_keyword("vs") {
+            return self.err("`diff ... between` expects `vs` separating the two predicates");
+        }
+        let right = self.pred()?;
+        let table = self.table_clause()?;
+        Ok(Query::Diff { metric, left, right, table })
+    }
+
+    fn regress(&mut self) -> Result<Query, ParseError> {
+        let metric = self.metric()?;
+        let mut threshold = 0.1;
+        if self.eat_keyword("threshold") {
+            let word = self.expect_word("a threshold number")?;
+            threshold = match word.parse::<f64>() {
+                Ok(t) if t.is_finite() && t >= 0.0 => t,
+                _ => {
+                    self.pos -= 1;
+                    return self.err(format!("invalid threshold `{word}`"));
+                }
+            };
+        }
+        let table = self.table_clause()?;
+        let pred = self.where_clause()?;
+        Ok(Query::Regress { metric, threshold, table, pred })
+    }
+
+    fn metric(&mut self) -> Result<Metric, ParseError> {
+        let word = self.expect_word("a metric name")?;
+        if word == "best" && matches!(self.peek(), Some(Token { kind: TokenKind::LParen, .. })) {
+            self.pos += 1; // (
+            let mut fields = vec![self.expect_word("a field name inside best(...)")?];
+            loop {
+                match self.peek() {
+                    Some(Token { kind: TokenKind::Comma, .. }) => {
+                        self.pos += 1;
+                        fields.push(self.expect_word("a field name after `,`")?);
+                    }
+                    Some(Token { kind: TokenKind::RParen, .. }) => {
+                        self.pos += 1;
+                        return Ok(Metric::Best(fields));
+                    }
+                    _ => return self.err("expected `,` or `)` in best(...)"),
+                }
+            }
+        }
+        Ok(Metric::Field(word))
+    }
+
+    fn table_clause(&mut self) -> Result<Option<String>, ParseError> {
+        if self.eat_keyword("from") {
+            Ok(Some(self.expect_word("a table name after `from`")?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn where_clause(&mut self) -> Result<Option<Pred>, ParseError> {
+        if self.eat_keyword("where") {
+            Ok(Some(self.pred()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn pred(&mut self) -> Result<Pred, ParseError> {
+        let mut left = self.pred_and()?;
+        while self.eat_keyword("or") {
+            let right = self.pred_and()?;
+            left = Pred::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn pred_and(&mut self) -> Result<Pred, ParseError> {
+        let mut left = self.pred_unary()?;
+        while self.eat_keyword("and") {
+            let right = self.pred_unary()?;
+            left = Pred::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn pred_unary(&mut self) -> Result<Pred, ParseError> {
+        if self.eat_keyword("not") {
+            return Ok(Pred::Not(Box::new(self.pred_unary()?)));
+        }
+        if let Some(Token { kind: TokenKind::LParen, .. }) = self.peek() {
+            self.pos += 1;
+            let inner = self.pred()?;
+            match self.peek() {
+                Some(Token { kind: TokenKind::RParen, .. }) => {
+                    self.pos += 1;
+                    Ok(inner)
+                }
+                _ => self.err("expected `)` closing the group"),
+            }
+        } else {
+            self.cmp()
+        }
+    }
+
+    fn cmp(&mut self) -> Result<Pred, ParseError> {
+        let field = self.expect_word("a field name")?;
+        let op = match self.peek() {
+            Some(Token { kind: TokenKind::Op(op), .. }) => {
+                let op = *op;
+                self.pos += 1;
+                op
+            }
+            Some(t) => {
+                return self.err(format!("expected a comparison operator, found {}", t.describe()))
+            }
+            None => return self.err("expected a comparison operator, found end of input"),
+        };
+        let value = match self.peek() {
+            Some(Token { kind: TokenKind::Word(w), .. }) => {
+                let lit = Literal::new(w.clone());
+                self.pos += 1;
+                lit
+            }
+            Some(Token { kind: TokenKind::Quoted(s), .. }) => {
+                let lit = Literal::new(s.clone());
+                self.pos += 1;
+                lit
+            }
+            Some(t) => return self.err(format!("expected a value, found {}", t.describe())),
+            None => return self.err("expected a value, found end of input"),
+        };
+        Ok(Pred::Cmp { field, op, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_issue_headline_query() {
+        let q = parse("argmin mpki where workload=zipfian").unwrap();
+        assert_eq!(
+            q,
+            Query::Simple {
+                agg: Agg::ArgMin,
+                metric: Some(Metric::Field("mpki".to_string())),
+                table: None,
+                pred: Some(Pred::Cmp {
+                    field: "workload".to_string(),
+                    op: CmpOp::Eq,
+                    value: Literal::new("zipfian".to_string()),
+                }),
+            }
+        );
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or_and_not_tightest() {
+        let q = parse("count where a=1 or b=2 and not c=3").unwrap();
+        let Query::Simple { pred: Some(p), .. } = q else { panic!("not simple") };
+        // a=1 or (b=2 and (not c=3))
+        let Pred::Or(l, r) = p else { panic!("top is not or: {p:?}") };
+        assert!(matches!(*l, Pred::Cmp { .. }));
+        let Pred::And(al, ar) = *r else { panic!("rhs is not and") };
+        assert!(matches!(*al, Pred::Cmp { .. }));
+        assert!(matches!(*ar, Pred::Not(_)));
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let q = parse("count where (a=1 or b=2) and c=3").unwrap();
+        let Query::Simple { pred: Some(Pred::And(l, _)), .. } = q else { panic!("shape") };
+        assert!(matches!(*l, Pred::Or(_, _)));
+    }
+
+    #[test]
+    fn benchmark_names_need_no_quotes() {
+        let q = parse("last mpki where benchmark=db.scanidx.i1024z0.9b64#s1").unwrap();
+        let Query::Simple { pred: Some(Pred::Cmp { value, .. }), .. } = q else { panic!() };
+        assert_eq!(value.text, "db.scanidx.i1024z0.9b64#s1");
+    }
+
+    #[test]
+    fn diff_and_regress_parse() {
+        let q = parse("diff mpki between policy=chirp vs policy=lru from runs").unwrap();
+        assert!(matches!(q, Query::Diff { .. }));
+        let q = parse("regress mpki threshold 0.25 from runs where policy=chirp").unwrap();
+        let Query::Regress { threshold, .. } = q else { panic!() };
+        assert!((threshold - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_metric_parses() {
+        let q = parse("last best(a,b,c) from bench").unwrap();
+        let Query::Simple { metric: Some(Metric::Best(fields)), .. } = q else { panic!() };
+        assert_eq!(fields, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn malformed_inputs_error_with_position() {
+        for bad in [
+            "",
+            "argmin",
+            "bogus mpki",
+            "min mpki where",
+            "min mpki where a",
+            "min mpki where a=",
+            "diff mpki",
+            "diff mpki between a=1",
+            "diff mpki between a=1 vs",
+            "count where (a=1",
+            "count where a ! 1",
+            "regress mpki threshold x",
+            "min mpki where a=1 trailing",
+            "count where \"unterminated",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.at <= bad.len(), "error position out of range for {bad:?}");
+        }
+    }
+}

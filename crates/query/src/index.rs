@@ -1,0 +1,225 @@
+//! The queryable index: named tables of flat rows loaded from the run
+//! ledger, telemetry epoch series and generic JSONL trajectories.
+//!
+//! Loading is tolerant by design — torn or foreign lines are skipped, not
+//! fatal — matching the store's own reading discipline. Ledger rows are
+//! lifted to the current record schema ([`migrate_record`]) and enriched
+//! with the derived metrics the paper discusses (`mpki`, `ipc`,
+//! `hit_rate`) plus a `key` field carrying the run key, so every row a
+//! query returns can name the ledger entry it came from.
+
+use crate::QueryError;
+use chirp_sim::store_cache::{migrate_record, run_from_record};
+use chirp_store::{hex16, parse_hex16, JsonObject, RunLedger};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// One indexed row: a flat record plus its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Append-order position within the table (ledger line number,
+    /// epoch-file line number, ...). History-walking queries (`regress`,
+    /// `first`/`last`) order by this.
+    pub seq: u64,
+    /// Human-readable citation: `run <key>` for ledger rows, `run <key>
+    /// epoch N` for telemetry rows, `<table>:<line>` otherwise.
+    pub source: String,
+    /// The ledger run key, when the row has one.
+    pub key: Option<u64>,
+    /// The record's fields.
+    pub fields: JsonObject,
+}
+
+/// A set of named row tables.
+///
+/// Conventional table names: `runs` (the ledger), `epochs` (telemetry
+/// series), `bench` (the performance trajectory). Queries default to
+/// `runs` when it is loaded, otherwise to the only table present.
+#[derive(Debug, Default)]
+pub struct QueryIndex {
+    tables: BTreeMap<String, Vec<Row>>,
+}
+
+impl QueryIndex {
+    /// An empty index.
+    pub fn new() -> QueryIndex {
+        QueryIndex::default()
+    }
+
+    /// Loads a store directory's run ledger into the `runs` table,
+    /// preserving full append history (rewritten keys keep their older
+    /// lines, so `regress` can walk them).
+    pub fn from_store_root(root: &Path) -> Result<QueryIndex, QueryError> {
+        let mut index = QueryIndex::new();
+        index.add_store_root(root)?;
+        Ok(index)
+    }
+
+    /// Adds a store directory's ledger history as the `runs` table.
+    pub fn add_store_root(&mut self, root: &Path) -> Result<(), QueryError> {
+        let lines = RunLedger::scan(root).map_err(|e| QueryError::Io(e.to_string()))?;
+        let table = self.tables.entry("runs".to_string()).or_default();
+        for line in lines {
+            table.push(run_row(table.len() as u64, line.key, &line.record));
+        }
+        Ok(())
+    }
+
+    /// Adds an in-memory ledger (latest record per key) as the `runs`
+    /// table — the form `chirp-serve` holds at runtime.
+    pub fn add_ledger(&mut self, ledger: &RunLedger) {
+        let table = self.tables.entry("runs".to_string()).or_default();
+        for (key, record) in ledger.iter() {
+            table.push(run_row(table.len() as u64, key, record));
+        }
+    }
+
+    /// Loads a telemetry epoch JSONL file as the `epochs` table.
+    pub fn add_epochs_file(&mut self, path: &Path) -> Result<(), QueryError> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| QueryError::Io(format!("cannot read {}: {e}", path.display())))?;
+        let table = self.tables.entry("epochs".to_string()).or_default();
+        for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+            let Ok(fields) = JsonObject::parse(line) else { continue };
+            let seq = table.len() as u64;
+            let key = fields.str_field("run_key").and_then(parse_hex16).filter(|&k| k != 0);
+            let source = match (key, fields.u64_field("epoch")) {
+                (Some(k), Some(e)) => format!("run {} epoch {e}", hex16(k)),
+                (Some(k), None) => format!("run {}", hex16(k)),
+                (None, _) => format!("epochs:{}", seq + 1),
+            };
+            table.push(Row { seq, source, key, fields });
+        }
+        Ok(())
+    }
+
+    /// Loads a generic flat-or-nested JSONL file (e.g. the
+    /// `BENCH_runner.json` trajectory) into `table`. Nested sub-objects
+    /// flatten into dotted field names; unparseable lines are skipped.
+    pub fn add_jsonl_file(&mut self, table: &str, path: &Path) -> Result<(), QueryError> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| QueryError::Io(format!("cannot read {}: {e}", path.display())))?;
+        let rows = self.tables.entry(table.to_string()).or_default();
+        for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+            let Ok(fields) = JsonObject::parse_flatten(line) else { continue };
+            let seq = rows.len() as u64;
+            rows.push(Row { seq, source: format!("{table}:{}", seq + 1), key: None, fields });
+        }
+        Ok(())
+    }
+
+    /// The rows of `name`, if loaded.
+    pub fn table(&self, name: &str) -> Option<&[Row]> {
+        self.tables.get(name).map(Vec::as_slice)
+    }
+
+    /// Loaded table names.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// The table a query without a `from` clause addresses: `runs` when
+    /// loaded, otherwise the only table present.
+    pub fn default_table(&self) -> Option<&str> {
+        if self.tables.contains_key("runs") {
+            return Some("runs");
+        }
+        if self.tables.len() == 1 {
+            return self.tables.keys().next().map(String::as_str);
+        }
+        None
+    }
+}
+
+/// Builds a `runs` row: migrates the record to the current schema, then
+/// stamps the run key and the derived per-run metrics.
+fn run_row(seq: u64, key: u64, record: &JsonObject) -> Row {
+    let mut fields = migrate_record(record);
+    fields.set_str("key", &hex16(key));
+    if let Some(run) = run_from_record(&fields) {
+        let r = &run.result;
+        fields.set_f64("mpki", r.mpki());
+        fields.set_f64("ipc", r.ipc());
+        let probes = r.l2_tlb.hits + r.l2_tlb.misses;
+        if probes > 0 {
+            fields.set_f64("hit_rate", r.l2_tlb.hits as f64 / probes as f64);
+        }
+    }
+    Row { seq, source: format!("run {}", hex16(key)), key: Some(key), fields }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chirp_store::TempDir;
+
+    fn write(path: &Path, text: &str) {
+        fs::write(path, text).unwrap();
+    }
+
+    #[test]
+    fn store_rows_carry_key_and_derived_metrics() {
+        let dir = TempDir::new("chirp-query-index");
+        // A v1 line (no schema field) followed by a v2-style rewrite of a
+        // different run; both must index, the v1 one via migration.
+        write(
+            &dir.path().join("runs.jsonl"),
+            concat!(
+                "{\"key\":\"00000000000000ab\",\"benchmark\":\"db.scanidx.x#s1\",\"category\":\"db\",\"policy\":\"lru\",\"instructions\":1000,\"cycles\":2000,\"hits\":90,\"misses\":10,\"dead_evictions\":2,\"cold_fills\":1,\"l2_accesses\":100,\"prediction_table_accesses\":0,\"l2_accesses_total\":200,\"efficiency\":0.5}\n",
+                "not json\n",
+                "{\"key\":\"00000000000000cd\",\"schema\":2,\"benchmark\":\"hpc.stream.y#s2\",\"category\":\"hpc\",\"workload\":\"stream\",\"policy\":\"chirp\",\"code_policy\":\"chirp/1\",\"code_gen\":\"gen/1\",\"walk_penalty\":50,\"instructions\":1000,\"cycles\":1500,\"hits\":95,\"misses\":5,\"dead_evictions\":1,\"cold_fills\":1,\"l2_accesses\":100,\"prediction_table_accesses\":10,\"l2_accesses_total\":200,\"efficiency\":0.8}\n",
+            ),
+        );
+        let index = QueryIndex::from_store_root(dir.path()).unwrap();
+        let rows = index.table("runs").unwrap();
+        assert_eq!(rows.len(), 2);
+        let v1 = &rows[0];
+        assert_eq!(v1.key, Some(0xab));
+        assert_eq!(v1.source, "run 00000000000000ab");
+        assert_eq!(v1.fields.str_field("key"), Some("00000000000000ab"));
+        // Migration filled schema/workload/code identity.
+        assert_eq!(v1.fields.u64_field("schema"), Some(2));
+        assert_eq!(v1.fields.str_field("workload"), Some("scanidx"));
+        assert_eq!(v1.fields.str_field("code_policy"), Some("pre-v2"));
+        // Derived metrics: mpki = 10 misses / 1k instructions * 1000.
+        assert_eq!(v1.fields.f64_field("mpki"), Some(10.0));
+        assert_eq!(v1.fields.f64_field("ipc"), Some(0.5));
+        assert_eq!(v1.fields.f64_field("hit_rate"), Some(0.9));
+        assert_eq!(index.default_table(), Some("runs"));
+    }
+
+    #[test]
+    fn epochs_and_jsonl_tables_load_tolerantly() {
+        let dir = TempDir::new("chirp-query-index");
+        let epochs = dir.path().join("epochs.jsonl");
+        write(
+            &epochs,
+            concat!(
+                "{\"benchmark\":\"a.b.c#s1\",\"policy\":\"lru\",\"run_key\":\"00000000000000ab\",\"epoch\":0,\"mpki\":2.5}\n",
+                "{\"benchmark\":\"a.b.c#s1\",\"policy\":\"lru\",\"epoch\":1,\"mpki\":2.0}\n",
+            ),
+        );
+        let bench = dir.path().join("bench.jsonl");
+        write(
+            &bench,
+            concat!(
+                "{\"bench\":\"sim_throughput\",\"instr_per_sec_1t\":100}\n",
+                "garbage line\n",
+                "{\"bench\":\"suite_runner\",\"sched_packed_8t\":{\"median_secs\":0.3}}\n",
+            ),
+        );
+        let mut index = QueryIndex::new();
+        index.add_epochs_file(&epochs).unwrap();
+        index.add_jsonl_file("bench", &bench).unwrap();
+        let ep = index.table("epochs").unwrap();
+        assert_eq!(ep.len(), 2);
+        assert_eq!(ep[0].source, "run 00000000000000ab epoch 0");
+        assert_eq!(ep[0].key, Some(0xab));
+        assert_eq!(ep[1].key, None); // pre-run_key line still loads
+        let b = index.table("bench").unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[1].fields.f64_field("sched_packed_8t.median_secs"), Some(0.3));
+        assert_eq!(index.default_table(), None); // two tables, no runs
+    }
+}

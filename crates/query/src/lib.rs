@@ -1,0 +1,110 @@
+//! # chirp-query
+//!
+//! An indexed query engine over the experiment artefacts the workspace
+//! produces: the `chirp-store` run ledger, telemetry epoch series and the
+//! bench trajectory file. A small typed expression language asks the
+//! paper's questions directly:
+//!
+//! ```text
+//! argmin mpki where workload=zipfian
+//! mean efficiency where policy=chirp and walk_penalty=50
+//! diff mpki between policy=lru vs policy=chirp
+//! regress mpki threshold 0.1 where policy=chirp
+//! last instr_per_sec_1t from bench where bench=sim_throughput
+//! ```
+//!
+//! Three guarantees shape the design:
+//!
+//! 1. **Bit-identity** — a value a query returns is the value on disk.
+//!    Row-selecting aggregates return the stored [`chirp_store::JsonValue`]
+//!    unchanged, and rendering uses the store's own float formatting, so
+//!    the printed number matches the ledger line byte-for-byte.
+//! 2. **Citation** — every answer row names its source (`run <key>`,
+//!    `run <key> epoch N`, `<table>:<line>`), so any number can be traced
+//!    back to the ledger entry that produced it.
+//! 3. **Freshness** — run keys hash the code identity of the policy and
+//!    trace generator (see `chirp_sim::store_cache`), so a ledger never
+//!    silently answers with results produced by code that has since
+//!    changed: stale entries stop matching and re-run instead.
+//!
+//! [`QueryIndex`] loads the tables, [`expr::parse`] builds the AST and
+//! [`engine::eval`] produces an [`Answer`]; the `chirp-query` binary wraps
+//! the three behind a CLI.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod expr;
+pub mod index;
+
+pub use engine::{eval, Answer};
+pub use expr::{parse, Agg, CmpOp, Literal, Metric, ParseError, Pred, Query};
+pub use index::{QueryIndex, Row};
+
+use chirp_store::RunLedger;
+use std::fmt;
+
+/// Errors surfaced by the query layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The expression failed to parse.
+    Parse(ParseError),
+    /// The expression parsed but cannot be evaluated (unknown table, ...).
+    Eval(String),
+    /// A table source could not be read.
+    Io(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "parse error: {e}"),
+            QueryError::Eval(message) => write!(f, "query error: {message}"),
+            QueryError::Io(message) => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> QueryError {
+        QueryError::Parse(e)
+    }
+}
+
+/// Parses and evaluates `text` against `index` in one step.
+pub fn run_query(text: &str, index: &QueryIndex) -> Result<Answer, QueryError> {
+    let query = expr::parse(text)?;
+    engine::eval(&query, index)
+}
+
+/// A compact ledger summary rendered through the query engine — what
+/// `chirp-serve` appends to its `Stats` reply. Every line is the answer
+/// to a real query, so the service's numbers and the CLI's agree by
+/// construction.
+pub fn ledger_overview(ledger: &RunLedger) -> String {
+    let mut index = QueryIndex::new();
+    index.add_ledger(ledger);
+    let mut out = String::new();
+    let scalar = |q: &str| {
+        run_query(q, &index).ok().and_then(|a| a.render_raw()).unwrap_or_else(|| "-".to_string())
+    };
+    out.push_str(&format!("ledger_runs {}\n", scalar("count")));
+    if ledger.is_empty() {
+        return out;
+    }
+    out.push_str(&format!("ledger_mean_mpki {}\n", scalar("mean mpki")));
+    if let Ok(best) = run_query("argmax efficiency", &index) {
+        if let (Some(value), Some(row)) = (&best.scalar, best.rows.first()) {
+            out.push_str(&format!(
+                "ledger_best_efficiency {} benchmark={} policy={} ({})\n",
+                Answer::render_value(value),
+                row.str_field("benchmark").unwrap_or("?"),
+                row.str_field("policy").unwrap_or("?"),
+                row.str_field("source").unwrap_or("?"),
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,180 @@
+//! Property tests for the query expression parser: it must never panic on
+//! any input, and the boolean precedence (`not` > `and` > `or`) must hold
+//! for arbitrarily nested predicates.
+
+use chirp_query::expr::{parse, Pred, Query};
+use proptest::collection::vec;
+use proptest::{any, prop_assert, prop_assert_eq, prop_oneof, proptest, Just};
+
+/// A predicate AST plus its textual rendering, built together so the test
+/// knows exactly what the parser should produce.
+#[derive(Debug, Clone)]
+struct Rendered {
+    text: String,
+    pred: Pred,
+}
+
+fn leaf(i: u8) -> Rendered {
+    // Field names f0..f7, values v0..v7 — plain words, no quoting needed.
+    let field = format!("f{}", i % 8);
+    let value = format!("v{}", i / 8 % 8);
+    Rendered {
+        text: format!("{field}={value}"),
+        pred: Pred::Cmp {
+            field,
+            op: chirp_query::CmpOp::Eq,
+            value: chirp_query::Literal { text: value, num: None },
+        },
+    }
+}
+
+/// Builds a random predicate from a byte script: each byte either wraps
+/// (`not`, parens) or combines (`and`, `or`) what came before. Renders
+/// with explicit parens around every composite, so the expected AST is
+/// unambiguous regardless of precedence.
+fn build_parenthesized(script: &[u8]) -> Rendered {
+    let mut current = leaf(script.first().copied().unwrap_or(0));
+    for &b in &script[1..] {
+        current = match b % 3 {
+            0 => Rendered {
+                text: format!("not ({})", current.text),
+                pred: Pred::Not(Box::new(current.pred)),
+            },
+            1 => {
+                let rhs = leaf(b / 3);
+                Rendered {
+                    text: format!("({}) and {}", current.text, rhs.text),
+                    pred: Pred::And(Box::new(current.pred), Box::new(rhs.pred)),
+                }
+            }
+            _ => {
+                let rhs = leaf(b / 3);
+                Rendered {
+                    text: format!("({}) or {}", current.text, rhs.text),
+                    pred: Pred::Or(Box::new(current.pred), Box::new(rhs.pred)),
+                }
+            }
+        };
+    }
+    current
+}
+
+fn parsed_pred(text: &str) -> Pred {
+    let query = parse(&format!("count where {text}")).expect("valid predicate must parse");
+    let Query::Simple { pred: Some(pred), .. } = query else {
+        panic!("count-where did not produce a predicate");
+    };
+    pred
+}
+
+/// Vocabulary for token-soup inputs: every keyword and operator the
+/// grammar knows, plus word and number material — biased toward almost-
+/// valid queries, which stress the parser harder than uniform bytes.
+const VOCAB: [&str; 30] = [
+    "min",
+    "max",
+    "mean",
+    "sum",
+    "count",
+    "argmin",
+    "argmax",
+    "first",
+    "last",
+    "show",
+    "diff",
+    "regress",
+    "between",
+    "vs",
+    "from",
+    "where",
+    "and",
+    "or",
+    "not",
+    "threshold",
+    "best",
+    "mpki",
+    "policy",
+    "(",
+    ")",
+    ",",
+    "=",
+    "!=",
+    "<=",
+    "~",
+];
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in vec(any::<u8>(), 0..80)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse(&text); // Ok or Err, never a panic.
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(picks in vec(any::<u8>(), 0..24)) {
+        let text = picks
+            .iter()
+            .map(|&p| VOCAB[p as usize % VOCAB.len()])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = parse(&text);
+    }
+
+    #[test]
+    fn parenthesized_predicates_roundtrip(script in vec(any::<u8>(), 1..10)) {
+        let expected = build_parenthesized(&script);
+        let parsed = parsed_pred(&expected.text);
+        prop_assert_eq!(parsed, expected.pred, "text: {}", expected.text);
+    }
+
+    #[test]
+    fn flat_chains_respect_precedence(ops in vec(any::<bool>(), 1..6)) {
+        // Render `f0=v0 OP f1=v0 OP f2=v0 ...` with no parens; fold the
+        // expected tree by precedence: `and` binds before `or`, both
+        // left-associative.
+        let mut text = leaf(0).text;
+        for (i, &is_and) in ops.iter().enumerate() {
+            let rhs = leaf((i as u8 + 1) % 8);
+            text = format!("{text} {} {}", if is_and { "and" } else { "or" }, rhs.text);
+        }
+        let mut or_terms: Vec<Pred> = Vec::new();
+        let mut current = leaf(0).pred;
+        for (i, &is_and) in ops.iter().enumerate() {
+            let rhs = leaf((i as u8 + 1) % 8).pred;
+            if is_and {
+                current = Pred::And(Box::new(current), Box::new(rhs));
+            } else {
+                or_terms.push(current);
+                current = rhs;
+            }
+        }
+        or_terms.push(current);
+        let expected = or_terms
+            .into_iter()
+            .reduce(|l, r| Pred::Or(Box::new(l), Box::new(r)))
+            .expect("at least one term");
+        prop_assert_eq!(parsed_pred(&text), expected, "text: {}", text);
+    }
+
+    #[test]
+    fn not_binds_tighter_than_and(i in 0u8..64) {
+        let a = leaf(i);
+        let b = leaf(i.wrapping_add(17));
+        let text = format!("not {} and {}", a.text, b.text);
+        let expected =
+            Pred::And(Box::new(Pred::Not(Box::new(a.pred))), Box::new(b.pred));
+        prop_assert_eq!(parsed_pred(&text), expected);
+    }
+
+    #[test]
+    fn valid_queries_always_parse(agg in prop_oneof![
+        Just("min"), Just("max"), Just("mean"), Just("argmin"), Just("last")
+    ], field in 0u8..8, with_where in any::<bool>()) {
+        let mut text = format!("{agg} f{field}");
+        if with_where {
+            text.push_str(" where policy=chirp");
+        }
+        let parsed = parse(&text);
+        prop_assert!(parsed.is_ok(), "{text}: {:?}", parsed);
+    }
+}

@@ -231,6 +231,10 @@ pub fn serve(config: ServeConfig) -> Result<ServerHandle, ServeError> {
 
     let store = Store::open(&config.store)?;
     let metrics = Registry::new();
+    // Pre-register the cache counters so a fresh server's Stats shows
+    // them at zero instead of omitting them until the first request.
+    metrics.counter("ledger_hits");
+    metrics.counter("ledger_misses");
     let in_flight = metrics.gauge("in_flight_bytes");
     let shared = Arc::new(Shared {
         config,
@@ -303,7 +307,7 @@ fn control_loop(listener: &TcpListener, shared: &Arc<Shared>, data_addr: SocketA
                     }
                 }
                 Ok(Some(Request::Stats)) => {
-                    let text = shared.metrics.render_text();
+                    let text = stats_text(shared);
                     if write_response(&mut stream, &Response::StatsReply(text)).is_err() {
                         break;
                     }
@@ -327,6 +331,16 @@ fn control_loop(listener: &TcpListener, shared: &Arc<Shared>, data_addr: SocketA
             }
         }
     }
+}
+
+/// The `Stats` reply: the metrics registry followed by a ledger summary
+/// rendered through `chirp-query`, so the service reports exactly the
+/// numbers the query CLI would return for the same store.
+fn stats_text(shared: &Shared) -> String {
+    let mut text = shared.metrics.render_text();
+    let store = shared.store.lock().unwrap_or_else(|e| e.into_inner());
+    text.push_str(&chirp_query::ledger_overview(&store.ledger));
+    text
 }
 
 fn error_response(code: u16, message: String) -> Response {
@@ -358,7 +372,7 @@ fn session(mut stream: TcpStream, shared: &Arc<Shared>) {
         let keep_going = match req {
             Request::Ping => write_response(&mut stream, &Response::Pong).is_ok(),
             Request::Stats => {
-                let text = shared.metrics.render_text();
+                let text = stats_text(shared);
                 write_response(&mut stream, &Response::StatsReply(text)).is_ok()
             }
             Request::Shutdown => {
@@ -699,6 +713,7 @@ fn run_policies(
     shared.metrics.counter("ledger_hits").add(ledger_hits as u64);
 
     let missing: Vec<usize> = (0..spec.policies.len()).filter(|&i| resolved[i].is_none()).collect();
+    shared.metrics.counter("ledger_misses").add(missing.len() as u64);
     if !missing.is_empty() {
         shared.metrics.counter("simulated_pairs").add(missing.len() as u64);
         let est = trace.resident_bytes();
@@ -736,7 +751,8 @@ fn run_policies(
         let fresh = results.pop().expect("one work item yields one result row");
         let mut store = shared.store.lock().unwrap_or_else(|e| e.into_inner());
         for (&i, run) in missing.iter().zip(fresh) {
-            if let Err(e) = store.ledger.append(keys[i], record_from_run(&run)) {
+            let record = record_from_run(&run, sim_config, &spec.policies[i]);
+            if let Err(e) = store.ledger.append(keys[i], record) {
                 shared.metrics.counter("internal_errors").inc();
                 return Err(error_response(err::INTERNAL, format!("ledger append: {e}")));
             }

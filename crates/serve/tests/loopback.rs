@@ -160,6 +160,11 @@ fn telemetry_summary_rides_along_when_requested() {
 
     let stats = client.stats().expect("stats");
     assert!(stats.contains("submits"), "stats snapshot lists submit counter: {stats}");
+    assert!(stats.contains("ledger_misses"), "stats counts ledger misses alongside hits: {stats}");
+    assert!(
+        stats.contains("ledger_runs") && stats.contains("ledger_best_efficiency"),
+        "stats appends the query-layer ledger overview: {stats}"
+    );
     client.ping().expect("ping");
 
     drop(client);

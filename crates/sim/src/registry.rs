@@ -61,6 +61,26 @@ impl PolicyKind {
         }
     }
 
+    /// Code-identity version of this policy's *implementation*. The string
+    /// participates in the run-ledger key (`chirp_sim::store_cache::run_key`),
+    /// so bumping a policy's version when its victim-selection or update
+    /// logic changes invalidates exactly the cached results that policy
+    /// produced — every other policy's ledger entries stay valid. Config
+    /// changes never need a bump: the full `PolicyKind` debug string (all
+    /// parameters) is hashed into the key separately.
+    pub fn code_version(&self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "lru/1",
+            PolicyKind::Random => "random/1",
+            PolicyKind::Srrip => "srrip/1",
+            PolicyKind::Ship => "ship/1",
+            PolicyKind::Ghrp => "ghrp/1",
+            PolicyKind::Chirp(_) => "chirp/1",
+            PolicyKind::Drrip => "drrip/1",
+            PolicyKind::PerceptronReuse => "perceptron/1",
+        }
+    }
+
     /// Parses a policy from its command-line/wire spelling: every
     /// [`name`](Self::name) plus `chirp-p<N>` for a CHiRP variant with
     /// path length `N` (the spelling `policy_label` in `chirp-bench`

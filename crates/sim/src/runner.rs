@@ -277,7 +277,7 @@ pub fn run_suite_cached(
                     &suite[item.bench].name,
                     config.instructions,
                 );
-                store.ledger.append(key, record_from_run(&run))?;
+                store.ledger.append(key, record_from_run(&run, &config.sim, &policies[pi]))?;
                 slots[item.bench * policies.len() + pi] = Some(run);
                 stats.simulated += 1;
             }

@@ -20,8 +20,9 @@ use crate::engine::Simulator;
 use crate::registry::PolicyKind;
 use crate::runner::{BenchRun, RunnerConfig};
 use crate::sched::{run_units, WorkItem};
+use crate::store_cache::run_key;
 use chirp_store::json::JsonObject;
-use chirp_store::StoreError;
+use chirp_store::{hex16, parse_hex16, StoreError};
 use chirp_telemetry::{write_jsonl, EpochRow, JsonRow, TelemetryMode};
 use chirp_tlb::DeadOutcomes;
 use chirp_trace::suite::BenchmarkSpec;
@@ -162,6 +163,13 @@ pub struct UnitSeries {
     pub benchmark: String,
     /// Policy name.
     pub policy: String,
+    /// The run-ledger key of the (config × policy × benchmark × length)
+    /// identity this series instruments
+    /// ([`crate::store_cache::run_key`]) — the cross-reference that lets
+    /// the query layer join epoch lines to ledger entries without
+    /// (benchmark, policy) name matching. `0` for series read from files
+    /// written before the field existed.
+    pub run_key: u64,
     /// Configured epoch length in instructions.
     pub epoch_instructions: u64,
     /// Per-epoch records, in epoch order.
@@ -246,6 +254,7 @@ pub fn run_suite_telemetry(
             let series = UnitSeries {
                 benchmark: bench.name.clone(),
                 policy: policy.name().to_string(),
+                run_key: run_key(&config.sim, policy, &bench.name, config.instructions),
                 epoch_instructions: spec.epoch_instructions,
                 rows: rows.iter().map(EpochRecord::from_row).collect(),
             };
@@ -257,8 +266,10 @@ pub fn run_suite_telemetry(
 }
 
 /// Serialises series to JSONL: one flat object per epoch, unit identity
-/// (`benchmark`, `policy`, `epoch_len`) inlined into every line, plus the
-/// derived `mpki` and `table_access_rate` for external tooling.
+/// (`benchmark`, `policy`, `run_key`, `epoch_len`) inlined into every
+/// line, plus the derived `mpki` and `table_access_rate` for external
+/// tooling. The `run_key` is the ledger cross-reference: queries join an
+/// epoch line to the run it instruments by key, never by name matching.
 ///
 /// # Errors
 ///
@@ -269,6 +280,7 @@ pub fn write_series(path: &Path, series: &[UnitSeries]) -> std::io::Result<()> {
             JsonRow::new()
                 .str("benchmark", &unit.benchmark)
                 .str("policy", &unit.policy)
+                .str("run_key", &hex16(unit.run_key))
                 .u64("epoch_len", unit.epoch_instructions)
                 .u64("epoch", r.epoch)
                 .u64("instructions", r.instructions)
@@ -343,13 +355,21 @@ pub fn read_series(path: &Path) -> Result<Vec<UnitSeries>, StoreError> {
             false_live: field("false_live")?,
             occupancy: obj.f64_field("occupancy").ok_or_else(|| missing("occupancy"))?,
         };
+        // Files written before the cross-reference existed have no
+        // run_key; 0 marks "unknown" rather than failing the read.
+        let unit_key = obj.str_field("run_key").and_then(parse_hex16).unwrap_or(0);
         match series.last_mut() {
-            Some(unit) if unit.benchmark == benchmark && unit.policy == policy => {
+            Some(unit)
+                if unit.benchmark == benchmark
+                    && unit.policy == policy
+                    && unit.run_key == unit_key =>
+            {
                 unit.rows.push(record)
             }
             _ => series.push(UnitSeries {
                 benchmark: benchmark.to_string(),
                 policy: policy.to_string(),
+                run_key: unit_key,
                 epoch_instructions: field("epoch_len")?,
                 rows: vec![record],
             }),

@@ -98,6 +98,11 @@ impl JsonObject {
         self.fields.get(key)
     }
 
+    /// Iterates fields in key order (the serialisation order).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &JsonValue)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// String field accessor.
     pub fn str_field(&self, key: &str) -> Option<&str> {
         self.get(key).and_then(JsonValue::as_str)
@@ -144,7 +149,23 @@ impl JsonObject {
 
     /// Parses a flat JSON object; rejects nesting, nulls and trailing input.
     pub fn parse(text: &str) -> Result<JsonObject, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, flatten: false, depth: 0 };
+        let obj = p.object()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::Trailing);
+        }
+        Ok(obj)
+    }
+
+    /// Like [`JsonObject::parse`], but nested objects are accepted and
+    /// flattened into dotted keys: `{"a":{"b":1}}` parses as `{"a.b":1}`.
+    /// Exists for externally-shaped JSONL (e.g. the bench trajectory
+    /// file), whose lines nest sub-records the query layer wants to
+    /// address as `section.metric`. Arrays and nulls are still rejected,
+    /// and store-written records never nest, so `parse` stays strict.
+    pub fn parse_flatten(text: &str) -> Result<JsonObject, JsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, flatten: true, depth: 0 };
         let obj = p.object()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
@@ -200,7 +221,15 @@ fn write_json_string(out: &mut String, s: &str) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Accept nested objects, flattening their keys with `.` separators.
+    flatten: bool,
+    /// Current object nesting depth (flatten mode only; bounded to keep
+    /// recursion on adversarial input shallow).
+    depth: u32,
 }
+
+/// Nesting bound for [`JsonObject::parse_flatten`].
+const MAX_FLATTEN_DEPTH: u32 = 8;
 
 impl Parser<'_> {
     fn skip_ws(&mut self) {
@@ -238,8 +267,20 @@ impl Parser<'_> {
             let key = self.string()?;
             self.expect(b':')?;
             self.skip_ws();
-            let value = self.value()?;
-            obj.fields.insert(key, value);
+            if self.flatten && self.peek() == Some(b'{') {
+                if self.depth >= MAX_FLATTEN_DEPTH {
+                    return Err(JsonError::Unsupported(self.pos));
+                }
+                self.depth += 1;
+                let nested = self.object()?;
+                self.depth -= 1;
+                for (k, v) in nested.fields {
+                    obj.fields.insert(format!("{key}.{k}"), v);
+                }
+            } else {
+                let value = self.value()?;
+                obj.fields.insert(key, value);
+            }
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
@@ -388,6 +429,30 @@ mod tests {
         assert!(JsonObject::parse("{\"a\":1} extra").is_err());
         assert!(JsonObject::parse("{\"a\"").is_err());
         assert!(JsonObject::parse("").is_err());
+    }
+
+    #[test]
+    fn parse_flatten_dots_nested_keys() {
+        let obj = JsonObject::parse_flatten(
+            "{\"bench\":\"suite_runner\",\"sched_packed_8t\":{\"median_secs\":0.31,\"peak_trace_bytes\":1905528},\"speedup_8t\":0.866}",
+        )
+        .unwrap();
+        assert_eq!(obj.str_field("bench"), Some("suite_runner"));
+        assert_eq!(obj.f64_field("sched_packed_8t.median_secs"), Some(0.31));
+        assert_eq!(obj.u64_field("sched_packed_8t.peak_trace_bytes"), Some(1905528));
+        assert_eq!(obj.f64_field("speedup_8t"), Some(0.866));
+        // Strict parse still rejects the same line, and flatten still
+        // rejects arrays, nulls and over-deep nesting.
+        assert!(JsonObject::parse("{\"a\":{\"b\":1}}").is_err());
+        assert!(JsonObject::parse_flatten("{\"a\":[1]}").is_err());
+        assert!(JsonObject::parse_flatten("{\"a\":null}").is_err());
+        let mut deep = String::new();
+        for _ in 0..12 {
+            deep.push_str("{\"k\":");
+        }
+        deep.push('1');
+        deep.push_str(&"}".repeat(12));
+        assert!(JsonObject::parse_flatten(&deep).is_err());
     }
 
     #[test]

@@ -83,6 +83,43 @@ impl RunLedger {
     pub fn iter(&self) -> impl Iterator<Item = (u64, &JsonObject)> {
         self.records.iter().map(|(&k, v)| (k, v))
     }
+
+    /// Scans the full append-order history of the ledger at `store_root`,
+    /// including superseded revisions of rewritten keys — the raw material
+    /// for "when did this metric regress?" questions, which the in-memory
+    /// latest-wins map cannot answer. Torn or malformed lines are skipped,
+    /// mirroring [`RunLedger::open`]; `seq` numbers the surviving lines in
+    /// file order, so two scans of an append-only file agree on every
+    /// prefix.
+    pub fn scan(store_root: &Path) -> Result<Vec<LedgerLine>, StoreError> {
+        let path = store_root.join("runs.jsonl");
+        let mut out = Vec::new();
+        if !path.exists() {
+            return Ok(out);
+        }
+        let text = fs::read_to_string(&path).map_err(|e| StoreError::io("scan run ledger", e))?;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(record) = JsonObject::parse(line) else { continue };
+            let Some(key) = record.str_field("key").and_then(parse_hex16) else { continue };
+            out.push(LedgerLine { seq: out.len() as u64, key, record });
+        }
+        Ok(out)
+    }
+}
+
+/// One surviving line of a ledger history scan ([`RunLedger::scan`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerLine {
+    /// Position among the surviving lines, in append order from 0.
+    pub seq: u64,
+    /// The run key the line was recorded under.
+    pub key: u64,
+    /// The full record, `"key"` field included.
+    pub record: JsonObject,
 }
 
 #[cfg(test)]
@@ -130,6 +167,26 @@ mod tests {
         assert_eq!(ledger.len(), 1);
         let reopened = RunLedger::open(&root).unwrap();
         assert_eq!(reopened.get(1).unwrap().f64_field("mpki"), Some(2.0));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn scan_preserves_history_that_the_map_collapses() {
+        let root = tmpdir("scan");
+        let mut ledger = RunLedger::open(&root).unwrap();
+        ledger.append(1, record("lru", 1.0)).unwrap();
+        ledger.append(2, record("chirp", 9.0)).unwrap();
+        ledger.append(1, record("lru", 2.0)).unwrap();
+        assert_eq!(ledger.len(), 2, "map keeps latest per key");
+
+        let lines = RunLedger::scan(&root).unwrap();
+        assert_eq!(lines.len(), 3, "scan keeps superseded revisions");
+        assert_eq!(lines.iter().map(|l| l.seq).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(lines[0].key, 1);
+        assert_eq!(lines[0].record.f64_field("mpki"), Some(1.0));
+        assert_eq!(lines[2].key, 1);
+        assert_eq!(lines[2].record.f64_field("mpki"), Some(2.0));
+        assert!(RunLedger::scan(&root.join("absent")).unwrap().is_empty());
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -36,7 +36,7 @@ pub use archive::{
 };
 pub use hash::{fnv64, hex16, parse_hex16, Fnv64};
 pub use json::{JsonError, JsonObject, JsonValue};
-pub use ledger::RunLedger;
+pub use ledger::{LedgerLine, RunLedger};
 pub use tempdir::TempDir;
 
 use std::fmt;

@@ -42,7 +42,7 @@ pub use packed::{
 };
 pub use record::{BranchClass, InstrKind, TraceRecord};
 pub use stats::TraceStats;
-pub use suite::{BenchmarkSpec, SuiteConfig};
+pub use suite::{workload_family, BenchmarkSpec, SuiteConfig, GEN_CODE_VERSION, ZIPFIAN_FAMILIES};
 
 /// Number of bytes covered by one page (the paper studies the standard 4 KB
 /// page size exclusively; see §V of the paper).

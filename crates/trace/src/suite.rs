@@ -113,6 +113,34 @@ impl Default for SuiteConfig {
 /// Number of benchmarks in the paper's suite.
 pub const PAPER_SUITE_SIZE: usize = 870;
 
+/// Code-identity version of the trace generators. This string participates
+/// in every run-ledger key (see `chirp_sim::store_cache`), so bumping it
+/// when a generator's emission logic changes invalidates every cached
+/// result at once — stale numbers can never be served from a ledger built
+/// by older generator code. Parameter changes do NOT need a bump: the
+/// generator parameters already enter benchmark identity through the
+/// `GenSpec` debug string in trace keys and the benchmark name in run keys.
+pub const GEN_CODE_VERSION: &str = "gen/1";
+
+/// Generator families whose page-selection distribution is Zipfian — the
+/// set the query layer's `workload=zipfian` filter matches. Family names
+/// are the [`workload_family`] of the generators in [`GenSpec`].
+pub const ZIPFIAN_FAMILIES: [&str; 4] = ["scanidx", "serve", "chase", "gups"];
+
+/// The generator family of a benchmark name: the second dot-separated
+/// component of the `<category>.<family>.<params>#s<seed>` naming scheme
+/// every [`WorkloadGen::name`] follows (e.g. `"scanidx"` for
+/// `db.scanidx.i1024z0.9b64#s1`). Returns the whole name when it does not
+/// follow the scheme, so lookups on foreign names degrade to exact match.
+pub fn workload_family(benchmark: &str) -> &str {
+    let mut parts = benchmark.splitn(3, '.');
+    let _category = parts.next();
+    match parts.next() {
+        Some(family) if parts.next().is_some() => family,
+        _ => benchmark,
+    }
+}
+
 /// Builds the benchmark suite.
 ///
 /// The full grid is enumerated deterministically; if `config.benchmarks`
@@ -450,6 +478,26 @@ mod tests {
             }
             assert_eq!(nth_benchmark(&config, size), None);
         }
+    }
+
+    #[test]
+    fn workload_family_parses_every_suite_name() {
+        let suite = build_suite(&SuiteConfig { benchmarks: 96 });
+        for b in &suite {
+            let family = workload_family(&b.name);
+            assert!(
+                [
+                    "ctxcopy", "scanidx", "stream", "stencil", "loops", "serve", "chase", "gups",
+                    "interp"
+                ]
+                .contains(&family),
+                "{}: unexpected family {family:?}",
+                b.name
+            );
+        }
+        // Degenerate names fall back to exact match.
+        assert_eq!(workload_family("plain"), "plain");
+        assert_eq!(workload_family("a.b"), "a.b");
     }
 
     #[test]

@@ -29,28 +29,61 @@ cd "$(dirname "$0")/.."
 
 out="${CHIRP_BENCH_OUT:-BENCH_runner.json}"
 
+# The regression guard reads the trajectory through the query engine —
+# the same `chirp-query` answers the guard consults are what any
+# dashboard querying this file would see. The legacy grep/sed extractors
+# are kept below as an independent read path; assert_paths_agree checks
+# the two read identical values before any guard fires.
+query_traj() {
+    [[ -f "$out" ]] || return 0
+    cargo run --release -q -p chirp-query --bin chirp-query -- \
+        --jsonl "$out" --raw "$1" 2>/dev/null || true
+}
+
 extract_ips() {
+    query_traj "last instr_per_sec_1t from bench where bench=sim_throughput"
+}
+
+extract_best_ips() {
+    # Best throughput across the lane sweep in the last sim_throughput
+    # line. Falls back to instr_per_sec_1t alone on pre-lane-sweep lines
+    # (best() skips fields a line does not carry).
+    query_traj "last best(instr_per_sec_1t,instr_per_sec_1t_dyn,instr_per_sec_1t_lanes2,instr_per_sec_1t_lanes4,instr_per_sec_1t_lanes8) from bench where bench=sim_throughput"
+}
+
+extract_serve() {
+    query_traj "last serve_req_per_sec from bench where bench=serve_loadgen"
+}
+
+legacy_ips() {
     # Last sim_throughput line's instr_per_sec_1t, empty if none.
     [[ -f "$out" ]] || return 0
     grep '"bench":"sim_throughput"' "$out" | tail -n 1 |
         sed -n 's/.*"instr_per_sec_1t":\([0-9][0-9]*\).*/\1/p'
 }
 
-extract_best_ips() {
-    # Best throughput across the lane sweep in the last sim_throughput
-    # line (max of instr_per_sec_1t and instr_per_sec_1t_lanes{2,4,8}).
-    # Falls back to instr_per_sec_1t alone on pre-lane-sweep lines.
+legacy_best_ips() {
     [[ -f "$out" ]] || return 0
     grep '"bench":"sim_throughput"' "$out" | tail -n 1 |
         grep -o '"instr_per_sec_1t[a-z0-9_]*":[0-9]*' |
         sed 's/.*://' | sort -n | tail -n 1
 }
 
-extract_serve() {
-    # Last serve_loadgen line's serve_req_per_sec, empty if none.
+legacy_serve() {
     [[ -f "$out" ]] || return 0
     grep '"bench":"serve_loadgen"' "$out" | tail -n 1 |
         sed -n 's/.*"serve_req_per_sec":\([0-9][0-9]*\).*/\1/p'
+}
+
+# The query-engine path and the legacy text-scrape path must read the
+# same trajectory values; a disagreement means one of them is lying and
+# the guard below cannot be trusted.
+assert_paths_agree() {
+    local name="$1" via_query="$2" via_legacy="$3"
+    if [[ "$via_query" != "$via_legacy" ]]; then
+        echo "ERROR: $name disagrees between read paths: query='$via_query' legacy='$via_legacy'" >&2
+        exit 1
+    fi
 }
 
 # Warn when a metric drops more than 10% below the previous recorded run
@@ -85,6 +118,12 @@ if [[ -f "$out" ]]; then
     tail -n 3 "$out"
 fi
 
-guard instr_per_sec_1t "$prev_ips" "$(extract_ips)"
-guard instr_per_sec_1t_best_lanes "$prev_best_ips" "$(extract_best_ips)"
-guard serve_req_per_sec "$prev_serve" "$(extract_serve)"
+new_ips="$(extract_ips)"
+new_best_ips="$(extract_best_ips)"
+new_serve="$(extract_serve)"
+assert_paths_agree instr_per_sec_1t "$new_ips" "$(legacy_ips)"
+assert_paths_agree instr_per_sec_1t_best_lanes "$new_best_ips" "$(legacy_best_ips)"
+assert_paths_agree serve_req_per_sec "$new_serve" "$(legacy_serve)"
+guard instr_per_sec_1t "$prev_ips" "$new_ips"
+guard instr_per_sec_1t_best_lanes "$prev_best_ips" "$new_best_ips"
+guard serve_req_per_sec "$prev_serve" "$new_serve"

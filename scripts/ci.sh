@@ -68,6 +68,27 @@ cargo run --release -q -p chirp-bench --bin telemetry_report -- \
     --input "$smoke_dir/telemetry_epochs.jsonl" > "$smoke_dir/report.out"
 grep -q "Per-policy rollup" "$smoke_dir/report.out"
 
+echo "==> chirp-query smoke (ledger-backed answers)"
+query_store="$smoke_dir/query-store"
+cargo run --release -q -p chirp-bench --bin run_all -- \
+    --benchmarks 2 --instructions 20_000 --threads 2 \
+    --store "$query_store" > "$smoke_dir/run_all_store.out"
+grep -q "==== Ledger" "$smoke_dir/run_all_store.out"
+test -s "$query_store/runs.jsonl"
+# The scalar a query returns must be the ledger's own number, byte for
+# byte — the bit-identity guarantee the query layer is built around.
+best_eff="$(cargo run --release -q -p chirp-query --bin chirp-query -- \
+    --store "$query_store" --raw "argmax efficiency")"
+test -n "$best_eff"
+grep -q "\"efficiency\":$best_eff" "$query_store/runs.jsonl"
+# Every answer cites the run key of the ledger line it came from.
+cargo run --release -q -p chirp-query --bin chirp-query -- \
+    --store "$query_store" "argmin mpki" | grep -q "run "
+# A clean ledger history reports zero regressions.
+regressions="$(cargo run --release -q -p chirp-query --bin chirp-query -- \
+    --store "$query_store" --raw "regress mpki")"
+test "$regressions" = "0"
+
 echo "==> chirp-serve smoke (submit, archived re-run, graceful shutdown)"
 cargo build --release -q -p chirp-serve -p chirp-bench
 serve_log="$smoke_dir/serve.log"

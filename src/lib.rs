@@ -9,6 +9,7 @@ pub use chirp_branch as branch;
 pub use chirp_core as core;
 pub use chirp_learn as learn;
 pub use chirp_mem as mem;
+pub use chirp_query as query;
 pub use chirp_serve as serve;
 pub use chirp_sim as sim;
 pub use chirp_store as store;
