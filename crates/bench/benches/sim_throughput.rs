@@ -11,6 +11,15 @@
 //! derived `best_lanes`/`lane_speedup`. `scripts/bench.sh` compares the
 //! best-lane number against the previous line and warns on >10%
 //! regressions.
+//!
+//! Each headline number is the best of `CHIRP_BENCH_REPS` sweeps
+//! (default 3) and the line records the reps used. Best-of-N is the
+//! noise protocol: a genuine code regression slows every sweep, while a
+//! noisy-host slide (CPU contention in a shared container) leaves at
+//! least one clean sweep at higher N — raise the env var before trusting
+//! a drop. The committed trajectory's 25.3M -> 15.4M instr/s slide is of
+//! the second kind: it spans entries with no simulator-code changes and
+//! tracks host load (see EXPERIMENTS.md "Throughput trajectory noise").
 
 use chirp_bench::{lineup9, policy_label};
 use chirp_sim::{run_columnar_lanes, LaneUnit, PolicyKind, SimConfig, Simulator};
@@ -135,9 +144,14 @@ fn bench_sim_throughput(c: &mut Criterion) {
     group.finish();
 
     // Headline numbers for the trajectory file: whole-matrix throughput
-    // across the lane sweep.
+    // across the lane sweep, best of CHIRP_BENCH_REPS sweeps each.
+    let reps = std::env::var("CHIRP_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.replace('_', "").parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3);
     let sweep: Vec<f64> =
-        LANES.iter().map(|&l| matrix_instr_per_sec(&suite, &policies, &config, l, 3)).collect();
+        LANES.iter().map(|&l| matrix_instr_per_sec(&suite, &policies, &config, l, reps)).collect();
     let (best_idx, best) =
         sweep.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("non-empty sweep");
     let lane_speedup = best / sweep[0].max(1e-9);
@@ -145,16 +159,17 @@ fn bench_sim_throughput(c: &mut Criterion) {
         println!("sim_throughput: lanes={lanes} {ips:.0} instr/s");
     }
     println!(
-        "sim_throughput: best lanes={} ({best:.0} instr/s, {lane_speedup:.2}x over sequential)",
+        "sim_throughput: best lanes={} ({best:.0} instr/s, {lane_speedup:.2}x over sequential, \
+         best of {reps} reps)",
         LANES[best_idx]
     );
-    write_trajectory(&sweep, LANES[best_idx], lane_speedup);
+    write_trajectory(&sweep, LANES[best_idx], lane_speedup, reps);
 }
 
-fn write_trajectory(sweep: &[f64], best_lanes: usize, lane_speedup: f64) {
+fn write_trajectory(sweep: &[f64], best_lanes: usize, lane_speedup: f64, reps: usize) {
     let line = format!(
         "{{\"bench\":\"sim_throughput\",\"benchmarks\":{BENCHMARKS},\"policies\":9,\
-         \"instructions\":{INSTRUCTIONS},\"instr_per_sec_1t\":{:.0},\
+         \"instructions\":{INSTRUCTIONS},\"reps\":{reps},\"instr_per_sec_1t\":{:.0},\
          \"instr_per_sec_1t_lanes2\":{:.0},\"instr_per_sec_1t_lanes4\":{:.0},\
          \"instr_per_sec_1t_lanes8\":{:.0},\"best_lanes\":{best_lanes},\
          \"lane_speedup\":{lane_speedup:.3}}}",

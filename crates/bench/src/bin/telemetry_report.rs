@@ -20,25 +20,15 @@ use chirp_bench::{
 use chirp_sim::telemetry::TelemetrySpec;
 use chirp_telemetry::TelemetryMode;
 use chirp_trace::suite::{build_suite, SuiteConfig};
-use std::path::PathBuf;
 
 fn main() {
-    let mut raw: Vec<String> = std::env::args().skip(1).collect();
-    let input = extract_input(&mut raw).unwrap_or_else(|msg| {
-        eprintln!("{msg}");
-        std::process::exit(2);
-    });
-
-    let series = match input {
-        Some(path) => chirp_sim::read_series(&path).unwrap_or_else(|e| {
+    let args = HarnessArgs::from_env();
+    let series = match &args.input {
+        Some(path) => chirp_sim::read_series(path).unwrap_or_else(|e| {
             eprintln!("error: cannot read telemetry series {}: {e}", path.display());
             std::process::exit(1);
         }),
         None => {
-            let args = HarnessArgs::parse(raw).unwrap_or_else(|msg| {
-                eprintln!("{msg} (telemetry_report also accepts --input FILE)");
-                std::process::exit(2);
-            });
             let suite = build_suite(&SuiteConfig { benchmarks: args.benchmarks });
             let policies = chirp_sim::PolicyKind::paper_lineup();
             // A report needs epochs regardless of the --telemetry flag.
@@ -59,23 +49,4 @@ fn main() {
     }
     println!("==== Per-unit phase summary ====\n{}", render_phase_summary(&series));
     println!("==== Per-policy rollup ====\n{}", render_policy_rollup(&series));
-}
-
-/// Pulls `--input FILE` out of the raw argument list, leaving the rest for
-/// [`HarnessArgs::parse`].
-fn extract_input(raw: &mut Vec<String>) -> Result<Option<PathBuf>, String> {
-    match raw.iter().position(|a| a == "--input") {
-        None => Ok(None),
-        Some(i) => {
-            if i + 1 >= raw.len() {
-                return Err("--input needs a file path".to_string());
-            }
-            let path = PathBuf::from(raw.remove(i + 1));
-            raw.remove(i);
-            if raw.iter().any(|a| a == "--input") {
-                return Err("--input given more than once".to_string());
-            }
-            Ok(Some(path))
-        }
-    }
 }

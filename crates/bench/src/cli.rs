@@ -21,7 +21,19 @@
 //!                     (default 100_000)
 //! --telemetry-out DIR where telemetry series land
 //!                     (default results/telemetry)
+//! --stream-chunk N    records per streamed batch on the streaming path
+//!                     (default 65_536; results are bit-identical at any
+//!                     chunk size)
+//! --resume            require prior progress: fail fast unless the
+//!                     `--store` ledger already holds results to resume
+//!                     from (binaries that support incremental runs)
+//! --input FILE        read a previously written data file instead of
+//!                     simulating (binaries that support report-only mode)
 //! ```
+//!
+//! Flag parsing lives here and only here — binaries get new flags by
+//! adding a field to [`HarnessArgs`], never by hand-rolling `env::args`
+//! loops.
 
 use chirp_core::ChirpConfig;
 use chirp_sim::{PolicyKind, RunnerConfig, TelemetrySpec};
@@ -77,6 +89,14 @@ pub struct HarnessArgs {
     pub epoch_instructions: u64,
     /// Directory where telemetry series are written.
     pub telemetry_out: PathBuf,
+    /// Records per streamed batch on the streaming path (`0` means the
+    /// runner's [`chirp_sim::DEFAULT_STREAM_CHUNK`]).
+    pub stream_chunk: usize,
+    /// When set, binaries that run incrementally fail fast unless the
+    /// `--store` ledger already holds progress to resume from.
+    pub resume: bool,
+    /// Previously written data file for binaries with a report-only mode.
+    pub input: Option<PathBuf>,
 }
 
 impl Default for HarnessArgs {
@@ -91,6 +111,9 @@ impl Default for HarnessArgs {
             telemetry: TelemetryMode::Off,
             epoch_instructions: 100_000,
             telemetry_out: PathBuf::from("results/telemetry"),
+            stream_chunk: 0,
+            resume: false,
+            input: None,
         }
     }
 }
@@ -135,11 +158,26 @@ impl HarnessArgs {
                     let dir = it.next().ok_or_else(|| format!("{arg} needs a directory"))?;
                     out.telemetry_out = PathBuf::from(dir);
                 }
+                "--stream-chunk" => {
+                    out.stream_chunk = next_num(&mut it, &arg)?;
+                    if out.stream_chunk == 0 {
+                        return Err("--stream-chunk must be positive".to_string());
+                    }
+                }
+                "--resume" => out.resume = true,
+                "--input" => {
+                    let file = it.next().ok_or_else(|| format!("{arg} needs a file path"))?;
+                    if out.input.is_some() {
+                        return Err(format!("{arg} given more than once"));
+                    }
+                    out.input = Some(PathBuf::from(file));
+                }
                 "--help" | "-h" => {
                     return Err(format!(
                         "usage: [--benchmarks N] [--instructions M] [--threads T] \
                          [--lanes L] [--store DIR] [--mem-budget BYTES[K|M|G]] [--full] \
-                         [--telemetry {}] [--epoch-instructions N] [--telemetry-out DIR]",
+                         [--telemetry {}] [--epoch-instructions N] [--telemetry-out DIR] \
+                         [--stream-chunk N] [--resume] [--input FILE]",
                         TelemetryMode::HELP
                     ))
                 }
@@ -154,6 +192,9 @@ impl HarnessArgs {
         }
         if out.epoch_instructions == 0 {
             return Err("--epoch-instructions must be positive".to_string());
+        }
+        if out.resume && out.store.is_none() {
+            return Err("--resume needs --store DIR: there is no ledger to resume from".to_string());
         }
         Ok(out)
     }
@@ -180,6 +221,7 @@ impl HarnessArgs {
             lanes: self.lanes,
             store: self.store.clone(),
             mem_budget: self.mem_budget,
+            stream_chunk: self.stream_chunk,
             ..Default::default()
         }
     }
@@ -351,6 +393,34 @@ mod tests {
         assert_eq!(a.lanes, 4);
         assert_eq!(a.runner_config().lanes, 4);
         assert_eq!(a.runner_config().lane_width(), 4);
+    }
+
+    #[test]
+    fn stream_chunk_flag_reaches_runner_config() {
+        assert_eq!(parse(&[]).unwrap().stream_chunk, 0, "defaults to the runner default");
+        let a = parse(&["--stream-chunk", "8_192"]).unwrap();
+        assert_eq!(a.stream_chunk, 8_192);
+        assert_eq!(a.runner_config().stream_chunk, 8_192);
+        assert_eq!(a.runner_config().stream_chunk_records(), 8_192);
+        assert!(parse(&["--stream-chunk", "0"]).is_err());
+        assert!(parse(&["--stream-chunk"]).is_err());
+    }
+
+    #[test]
+    fn resume_requires_a_store() {
+        assert!(!parse(&[]).unwrap().resume);
+        assert!(parse(&["--resume"]).is_err(), "--resume without --store is an error");
+        let a = parse(&["--resume", "--store", "results/store"]).unwrap();
+        assert!(a.resume);
+    }
+
+    #[test]
+    fn input_flag_parses_once() {
+        assert_eq!(parse(&[]).unwrap().input, None);
+        let a = parse(&["--input", "results/telemetry/series.jsonl"]).unwrap();
+        assert_eq!(a.input, Some(PathBuf::from("results/telemetry/series.jsonl")));
+        assert!(parse(&["--input"]).is_err());
+        assert!(parse(&["--input", "a", "--input", "b"]).is_err(), "duplicate --input");
     }
 
     #[test]

@@ -143,9 +143,12 @@ impl Answer {
 /// Evaluates a parsed query against an index.
 pub fn eval(query: &Query, index: &QueryIndex) -> Result<Answer, QueryError> {
     match query {
-        Query::Simple { agg, metric, table, pred } => {
+        Query::Simple { agg, metric, table, pred, group } => {
             let rows = resolve_table(index, table.as_deref())?;
-            eval_simple(*agg, metric.as_ref(), rows, pred.as_ref())
+            match group {
+                Some(field) => eval_grouped(*agg, metric.as_ref(), rows, pred.as_ref(), field),
+                None => eval_simple(*agg, metric.as_ref(), rows, pred.as_ref()),
+            }
         }
         Query::Diff { metric, left, right, table } => {
             let rows = resolve_table(index, table.as_deref())?;
@@ -234,6 +237,103 @@ fn eval_simple(
                 scalar: Some(JsonValue::F64(value)),
             })
         }
+    }
+}
+
+/// `group by FIELD`: partitions the matching rows by the field's string
+/// form (first-appearance order, i.e. append order for ledger tables)
+/// and applies the aggregate within each partition. One answer row per
+/// group: the group key, the aggregated value, and — for mean/sum — the
+/// contributing row count `n`, or — for picks — the picked row's source.
+/// Rows without the group field cannot be attributed and are skipped.
+fn eval_grouped(
+    agg: Agg,
+    metric: Option<&Metric>,
+    rows: &[Row],
+    pred: Option<&Pred>,
+    field: &str,
+) -> Result<Answer, QueryError> {
+    let mut groups: Vec<(String, Vec<&Row>)> = Vec::new();
+    for row in rows.iter().filter(|r| pred.is_none_or(|p| eval_pred(r, p))) {
+        let Some(key) = group_key(row, field) else { continue };
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(row),
+            None => groups.push((key, vec![row])),
+        }
+    }
+    let mut answer = Answer::default();
+    for (key, members) in &groups {
+        let mut out = JsonObject::new();
+        out.set_str(field, key);
+        let Some(metric) = metric else {
+            // Bare `count ... group by FIELD`: rows per group.
+            out.set_u64("count", members.len() as u64);
+            answer.rows.push(out);
+            continue;
+        };
+        let name = metric_label(metric);
+        let pairs: Vec<(&Row, JsonValue)> =
+            members.iter().filter_map(|r| metric_value(r, metric).map(|v| (*r, v))).collect();
+        match agg {
+            Agg::Show => {
+                return Err(QueryError::Eval("`show` cannot be grouped".to_string()));
+            }
+            Agg::Count => {
+                out.set_u64("count", pairs.len() as u64);
+            }
+            Agg::First | Agg::Last => {
+                let picked = if agg == Agg::First { pairs.first() } else { pairs.last() };
+                let Some((row, value)) = picked else { continue };
+                set_value(&mut out, &name, value);
+                out.set_str("source", &row.source);
+            }
+            Agg::Min | Agg::ArgMin | Agg::Max | Agg::ArgMax => {
+                let lower = matches!(agg, Agg::Min | Agg::ArgMin);
+                let mut best: Option<&(&Row, JsonValue)> = None;
+                let mut best_num = 0.0f64;
+                for pair in &pairs {
+                    let Some(n) = pair.1.as_f64() else { continue };
+                    if best.is_none() || (lower && n < best_num) || (!lower && n > best_num) {
+                        best = Some(pair);
+                        best_num = n;
+                    }
+                }
+                let Some((row, value)) = best else { continue };
+                if matches!(agg, Agg::ArgMin | Agg::ArgMax) && field != "benchmark" {
+                    if let Some(b) = benchmark_of(row) {
+                        out.set_str("benchmark", b);
+                    }
+                }
+                set_value(&mut out, &name, value);
+                out.set_str("source", &row.source);
+            }
+            Agg::Mean | Agg::Sum => {
+                let nums: Vec<f64> = pairs.iter().filter_map(|p| p.1.as_f64()).collect();
+                if nums.is_empty() {
+                    continue;
+                }
+                let sum: f64 = nums.iter().sum();
+                let value = if agg == Agg::Sum { sum } else { sum / nums.len() as f64 };
+                out.set_f64(&name, value);
+                out.set_u64("n", nums.len() as u64);
+            }
+        }
+        answer.rows.push(out);
+    }
+    Ok(answer)
+}
+
+/// String form of a row's group-by key. Like predicate evaluation,
+/// `workload` is answerable on any row with a benchmark name even when
+/// the table does not store the family explicitly.
+fn group_key(row: &Row, field: &str) -> Option<String> {
+    match row.fields.get(field) {
+        Some(JsonValue::Str(s)) => Some(s.clone()),
+        Some(JsonValue::U64(n)) => Some(n.to_string()),
+        Some(JsonValue::F64(f)) => Some(format!("{f}")),
+        Some(JsonValue::Bool(b)) => Some(b.to_string()),
+        None if field == "workload" => benchmark_of(row).map(|b| workload_family(b).to_string()),
+        None => None,
     }
 }
 
@@ -494,6 +594,44 @@ mod tests {
         assert_eq!(a.rows.len(), 1);
         assert_eq!(a.rows[0].str_field("policy"), Some("chirp"));
         assert_eq!(a.rows[0].str_field("source"), Some("run 0000000000000002"));
+    }
+
+    #[test]
+    fn group_by_policy_partitions_and_aggregates() {
+        let index = runs_index();
+        let q = parse("mean mpki from runs group by policy").unwrap();
+        let a = eval(&q, &index).unwrap();
+        // First-appearance order: lru (row 1), then chirp (rows 2+3).
+        assert_eq!(a.rows.len(), 2);
+        assert_eq!(a.rows[0].str_field("policy"), Some("lru"));
+        assert_eq!(a.rows[0].f64_field("mpki"), Some(4.25));
+        assert_eq!(a.rows[0].u64_field("n"), Some(1));
+        assert_eq!(a.rows[1].str_field("policy"), Some("chirp"));
+        assert_eq!(a.rows[1].f64_field("mpki"), Some((2.5 + 1.75) / 2.0));
+        assert_eq!(a.rows[1].u64_field("n"), Some(2));
+    }
+
+    #[test]
+    fn group_by_supports_counts_picks_and_derived_workload() {
+        let index = runs_index();
+
+        let a = eval(&parse("count from runs group by policy").unwrap(), &index).unwrap();
+        assert_eq!(a.rows.len(), 2);
+        assert_eq!(a.rows[0].u64_field("count"), Some(1), "lru");
+        assert_eq!(a.rows[1].u64_field("count"), Some(2), "chirp");
+
+        let a = eval(&parse("argmin mpki from runs group by policy").unwrap(), &index).unwrap();
+        assert_eq!(a.rows[1].str_field("policy"), Some("chirp"));
+        assert_eq!(a.rows[1].f64_field("mpki"), Some(1.75), "chirp's best row wins");
+        assert_eq!(a.rows[1].str_field("benchmark"), Some("hpc.stream.b#s1"));
+        assert_eq!(a.rows[1].str_field("source"), Some("run 0000000000000003"));
+
+        // `workload` groups via the stored field here; rows without one
+        // would derive it from the benchmark name like predicates do.
+        let a = eval(&parse("min mpki from runs group by workload").unwrap(), &index).unwrap();
+        assert_eq!(a.rows.len(), 2);
+        assert_eq!(a.rows[0].str_field("workload"), Some("scanidx"));
+        assert_eq!(a.rows[0].f64_field("mpki"), Some(2.5));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! ```text
 //! query    := simple | diff | regress
 //! simple   := AGG [metric] [ 'from' WORD ] [ 'where' pred ]
+//!             [ 'group' 'by' WORD ]
 //! diff     := 'diff' metric 'between' pred 'vs' pred [ 'from' WORD ]
 //! regress  := 'regress' metric [ 'threshold' NUMBER ] [ 'from' WORD ]
 //!             [ 'where' pred ]
@@ -27,6 +28,10 @@
 //! versions (`chirp/1`) without quoting; anything containing an operator
 //! character or whitespace takes double quotes. The metric after `count`
 //! is optional (`count where policy=chirp` counts matching rows).
+//! `group by FIELD` partitions the matching rows by that field's value
+//! and applies the aggregate per partition (`mean mpki from runs group
+//! by policy`); `show` is already one row per match, so grouping it is a
+//! parse error.
 
 use std::fmt;
 
@@ -43,6 +48,9 @@ pub enum Query {
         table: Option<String>,
         /// Row filter; `None` keeps every row.
         pred: Option<Pred>,
+        /// `group by FIELD`: apply the aggregate per distinct value of
+        /// this field instead of once over all matching rows.
+        group: Option<String>,
     },
     /// A per-benchmark comparison of one metric between two row sets.
     Diff {
@@ -406,10 +414,21 @@ impl TokenParser<'_> {
                 "unknown aggregate `{word}` (expected min/max/mean/sum/count/argmin/argmax/first/last/show, diff or regress)"
             ));
         };
-        // `count` may omit the metric; everything else requires one.
+        // `count` may omit the metric; everything else requires one. A
+        // `group by` clause head is not a metric either — `count group by
+        // policy` groups, it does not count a metric named `group`.
         let metric = match self.peek() {
             None => None,
             Some(Token { kind: TokenKind::Word(w), .. }) if w == "from" || w == "where" => None,
+            Some(Token { kind: TokenKind::Word(w), .. })
+                if w == "group"
+                    && matches!(
+                        self.tokens.get(self.pos + 1),
+                        Some(Token { kind: TokenKind::Word(by), .. }) if by == "by"
+                    ) =>
+            {
+                None
+            }
             _ => Some(self.metric()?),
         };
         if metric.is_none() && agg != Agg::Count {
@@ -417,7 +436,11 @@ impl TokenParser<'_> {
         }
         let table = self.table_clause()?;
         let pred = self.where_clause()?;
-        Ok(Query::Simple { agg, metric, table, pred })
+        let group = self.group_clause()?;
+        if group.is_some() && agg == Agg::Show {
+            return self.err("`show` is already one row per match and cannot be grouped");
+        }
+        Ok(Query::Simple { agg, metric, table, pred, group })
     }
 
     fn diff(&mut self) -> Result<Query, ParseError> {
@@ -485,6 +508,17 @@ impl TokenParser<'_> {
     fn where_clause(&mut self) -> Result<Option<Pred>, ParseError> {
         if self.eat_keyword("where") {
             Ok(Some(self.pred()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn group_clause(&mut self) -> Result<Option<String>, ParseError> {
+        if self.eat_keyword("group") {
+            if !self.eat_keyword("by") {
+                return self.err("`group` must be followed by `by FIELD`");
+            }
+            Ok(Some(self.expect_word("a field name after `group by`")?))
         } else {
             Ok(None)
         }
@@ -576,8 +610,42 @@ mod tests {
                     op: CmpOp::Eq,
                     value: Literal::new("zipfian".to_string()),
                 }),
+                group: None,
             }
         );
+    }
+
+    #[test]
+    fn group_by_parses_after_where() {
+        let q = parse("mean mpki from runs group by policy").unwrap();
+        let Query::Simple { agg, group, .. } = &q else { panic!("not simple") };
+        assert_eq!(*agg, Agg::Mean);
+        assert_eq!(group.as_deref(), Some("policy"));
+
+        let q = parse("count where policy=chirp group by workload").unwrap();
+        let Query::Simple { group, pred, .. } = &q else { panic!("not simple") };
+        assert_eq!(group.as_deref(), Some("workload"));
+        assert!(pred.is_some());
+
+        // Metric-less `count` directly followed by the clause: `group` is
+        // the clause head here, not a metric named "group". A metric
+        // really named `group` stays reachable when not followed by `by`.
+        let q = parse("count group by policy").unwrap();
+        let Query::Simple { metric, group, .. } = &q else { panic!("not simple") };
+        assert!(metric.is_none());
+        assert_eq!(group.as_deref(), Some("policy"));
+        let q = parse("mean group from runs").unwrap();
+        let Query::Simple { metric, group, .. } = &q else { panic!("not simple") };
+        assert!(group.is_none());
+        assert!(matches!(metric, Some(Metric::Field(f)) if f == "group"));
+    }
+
+    #[test]
+    fn group_by_rejects_show_and_malformed_clauses() {
+        assert!(parse("show mpki group by policy").is_err(), "show cannot be grouped");
+        assert!(parse("mean mpki group policy").is_err(), "missing `by`");
+        assert!(parse("mean mpki group by").is_err(), "missing field");
+        assert!(parse("mean mpki group by policy trailing").is_err(), "trailing input");
     }
 
     #[test]

@@ -70,7 +70,7 @@ fn parsed_pred(text: &str) -> Pred {
 /// Vocabulary for token-soup inputs: every keyword and operator the
 /// grammar knows, plus word and number material — biased toward almost-
 /// valid queries, which stress the parser harder than uniform bytes.
-const VOCAB: [&str; 30] = [
+const VOCAB: [&str; 32] = [
     "min",
     "max",
     "mean",
@@ -91,6 +91,8 @@ const VOCAB: [&str; 30] = [
     "or",
     "not",
     "threshold",
+    "group",
+    "by",
     "best",
     "mpki",
     "policy",
@@ -169,12 +171,21 @@ proptest! {
     #[test]
     fn valid_queries_always_parse(agg in prop_oneof![
         Just("min"), Just("max"), Just("mean"), Just("argmin"), Just("last")
-    ], field in 0u8..8, with_where in any::<bool>()) {
+    ], field in 0u8..8, with_where in any::<bool>(), with_group in any::<bool>()) {
         let mut text = format!("{agg} f{field}");
         if with_where {
             text.push_str(" where policy=chirp");
         }
+        if with_group {
+            text.push_str(" group by policy");
+        }
         let parsed = parse(&text);
         prop_assert!(parsed.is_ok(), "{text}: {:?}", parsed);
+        if with_group {
+            let Ok(Query::Simple { group, .. }) = parsed else {
+                panic!("grouped query did not parse as simple");
+            };
+            prop_assert_eq!(group.as_deref(), Some("policy"));
+        }
     }
 }

@@ -14,7 +14,9 @@ use chirp_branch::BranchUnit;
 use chirp_mem::MemoryHierarchy;
 use chirp_telemetry::{EpochRow, EpochSampler};
 use chirp_tlb::{TlbHierarchy, TlbReplacementPolicy, TlbStats, TranslationKind};
-use chirp_trace::{vpn, InstrKind, PackedTrace, TraceChunk, TraceRecord, TraceSource};
+use chirp_trace::{
+    vpn, InstrKind, PackedTrace, StreamError, TraceChunk, TraceRecord, TraceSource, TraceStream,
+};
 
 /// Records streamed per [`TraceChunk`] by the columnar run loop. Large
 /// enough to amortise per-chunk bookkeeping, small enough that the chunk's
@@ -187,6 +189,27 @@ impl<P: TlbReplacementPolicy> Simulator<P> {
         }
     }
 
+    /// Runs a streamed trace, pulling bounded batches on demand — peak
+    /// trace residency is O(chunk) instead of O(trace). Produces a
+    /// [`RunResult`] bit-identical to [`run_columnar`](Self::run_columnar)
+    /// on the materialized trace: batch boundaries carry no simulation
+    /// meaning, and the warmup window is cut at the same absolute
+    /// instruction index (computed from [`TraceStream::len`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the stream's first error (decode, I/O, integrity);
+    /// the simulator state is then mid-trace and the run must be retried
+    /// on a fresh simulator.
+    pub fn run_stream<S: TraceStream + ?Sized>(
+        &mut self,
+        stream: &mut S,
+        warmup_fraction: f64,
+    ) -> Result<RunResult, StreamError> {
+        run_stream_units(std::slice::from_mut(self), stream, warmup_fraction)
+            .map(|mut results| results.pop().expect("one simulator in, one result out"))
+    }
+
     /// Runs the whole trace like [`run`](Self::run), additionally sampling
     /// telemetry counters every `epoch_instructions` measured instructions.
     ///
@@ -300,6 +323,57 @@ impl<P: TlbReplacementPolicy> Simulator<P> {
     }
 }
 
+/// Runs several simulators in lockstep over one streamed trace: each
+/// pulled batch is stepped through every simulator before the next batch
+/// is requested, so a whole benchmark's policy lineup shares a single
+/// generation/decode pass and the trace is never materialised. Every
+/// result is bit-identical to [`Simulator::run_columnar`] on the
+/// materialized trace.
+///
+/// The warmup cut is computed once from [`TraceStream::len`] and applied
+/// at the same absolute instruction index in every simulator (mid-batch
+/// via [`TraceChunk::split_at`]). A stream that ends early (a generator
+/// stopping short of its limit) simply closes the measured window at the
+/// actual end, mirroring a short materialized trace.
+///
+/// # Errors
+///
+/// Propagates the stream's first error; all simulators are then mid-trace
+/// and the batch of runs must be retried from scratch.
+pub fn run_stream_units<P: TlbReplacementPolicy, S: TraceStream + ?Sized>(
+    sims: &mut [Simulator<P>],
+    stream: &mut S,
+    warmup_fraction: f64,
+) -> Result<Vec<RunResult>, StreamError> {
+    let len = stream.len();
+    let warmup = (((len as f64) * warmup_fraction.clamp(0.0, 1.0)) as usize).min(len);
+    let mut windows: Vec<Option<(u64, u64, TlbStats)>> = vec![None; sims.len()];
+    let mut pos = 0usize;
+    while let Some(batch) = stream.next_batch()? {
+        for chunk in batch.chunks(CHUNK_SIZE) {
+            for (sim, window) in sims.iter_mut().zip(windows.iter_mut()) {
+                if window.is_none() && warmup <= pos + chunk.len() {
+                    let (head, tail) = chunk.split_at(warmup - pos);
+                    sim.step_chunk(&head);
+                    *window = Some(sim.window_start());
+                    sim.step_chunk(&tail);
+                } else {
+                    sim.step_chunk(&chunk);
+                }
+            }
+            pos += chunk.len();
+        }
+    }
+    Ok(sims
+        .iter_mut()
+        .zip(windows)
+        .map(|(sim, window)| {
+            let window = window.unwrap_or_else(|| sim.window_start());
+            sim.finish_result(window)
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +419,45 @@ mod tests {
         let a = run(PolicyKind::Lru, &trace);
         let b = run(PolicyKind::Lru, &trace);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streamed_run_matches_columnar_run() {
+        let g = ContextCopy::default();
+        let trace = g.generate_packed(40_000, 9);
+        let config = SimConfig::default();
+        for chunk in [1usize, 777, 4096, 100_000] {
+            let mut columnar = Simulator::with_policy(
+                &config,
+                PolicyKind::Chirp(Default::default()).build_dispatch(config.tlb.l2, 0),
+            );
+            let want = columnar.run_columnar(&trace, 0.5);
+            let mut streamed = Simulator::with_policy(
+                &config,
+                PolicyKind::Chirp(Default::default()).build_dispatch(config.tlb.l2, 0),
+            );
+            let mut stream = chirp_trace::MaterializedStream::new(&trace, chunk);
+            let got = streamed.run_stream(&mut stream, 0.5).unwrap();
+            assert_eq!(got, want, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn lockstep_stream_units_match_independent_runs() {
+        let g = SpecLoops::default();
+        let trace = g.generate_packed(30_000, 2);
+        let config = SimConfig::default();
+        let kinds = [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Chirp(Default::default())];
+        let mut sims: Vec<_> = kinds
+            .iter()
+            .map(|k| Simulator::with_policy(&config, k.build_dispatch(config.tlb.l2, 0)))
+            .collect();
+        let mut stream = chirp_trace::MaterializedStream::new(&trace, 999);
+        let got = run_stream_units(&mut sims, &mut stream, 0.5).unwrap();
+        for (kind, streamed) in kinds.iter().zip(&got) {
+            let mut solo = Simulator::with_policy(&config, kind.build_dispatch(config.tlb.l2, 0));
+            assert_eq!(streamed, &solo.run_columnar(&trace, 0.5), "{kind:?}");
+        }
     }
 
     #[test]

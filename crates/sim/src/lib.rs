@@ -33,11 +33,14 @@ pub mod store_cache;
 pub mod telemetry;
 
 pub use config::SimConfig;
-pub use engine::Simulator;
+pub use engine::{run_stream_units, Simulator};
 pub use lanes::{run_columnar_lanes, run_columnar_lanes_outcomes, LaneUnit};
 pub use metrics::RunResult;
 pub use registry::{PolicyDispatch, PolicyKind};
-pub use runner::{run_suite, run_suite_cached, BenchRun, CacheStats, RunnerConfig};
+pub use runner::{
+    run_suite, run_suite_cached, run_suite_streamed, BenchRun, CacheStats, RunnerConfig,
+    DEFAULT_STREAM_CHUNK,
+};
 pub use sched::{last_scheduler_summary, SchedulerSummary};
 pub use telemetry::{
     read_series, run_suite_telemetry, write_series, EpochRecord, TelemetrySpec, UnitSeries,

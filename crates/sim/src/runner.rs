@@ -16,14 +16,14 @@
 //! different traces fetch concurrently.
 
 use crate::config::SimConfig;
-use crate::engine::Simulator;
+use crate::engine::{run_stream_units, Simulator};
 use crate::lanes::{run_columnar_lanes, LaneUnit};
 use crate::metrics::RunResult;
 use crate::registry::PolicyKind;
-use crate::sched::{run_unit_groups, WorkItem};
+use crate::sched::{run_streamed, run_unit_groups, WorkItem};
 use crate::store_cache::{record_from_run, run_from_record, run_key};
 use chirp_store::archive::ArchiveOutcome;
-use chirp_store::{Store, StoreError, TraceArchive};
+use chirp_store::{ArchiveTraceStream, Store, StoreError, TraceArchive};
 use chirp_trace::suite::BenchmarkSpec;
 use chirp_trace::{Category, PackedTrace};
 use parking_lot::Mutex;
@@ -59,7 +59,20 @@ pub struct RunnerConfig {
     /// sequential.
     #[serde(default)]
     pub lanes: usize,
+    /// Records per streamed batch for [`run_suite_streamed`]; `0` means
+    /// [`DEFAULT_STREAM_CHUNK`]. Like `lanes`, purely an execution-
+    /// strategy knob: streamed results are bit-identical at any chunk
+    /// size (batch boundaries carry no simulation meaning), so it is
+    /// excluded from ledger run keys by construction — `run_key` never
+    /// sees it.
+    #[serde(default)]
+    pub stream_chunk: usize,
 }
+
+/// Records per streamed batch when [`RunnerConfig::stream_chunk`] is 0:
+/// ~64k records ≈ 0.8 MiB packed, big enough to amortise channel and
+/// bookkeeping costs, small enough that a unit's pipeline stays a few MiB.
+pub const DEFAULT_STREAM_CHUNK: usize = 65_536;
 
 impl Default for RunnerConfig {
     fn default() -> Self {
@@ -70,6 +83,7 @@ impl Default for RunnerConfig {
             store: None,
             mem_budget: None,
             lanes: 1,
+            stream_chunk: 0,
         }
     }
 }
@@ -94,6 +108,25 @@ impl RunnerConfig {
     /// miscomputed width) degrades to sequential execution.
     pub fn lane_width(&self) -> usize {
         self.lanes.max(1)
+    }
+
+    /// Records per streamed batch actually used: `stream_chunk` with 0
+    /// mapped to [`DEFAULT_STREAM_CHUNK`].
+    pub fn stream_chunk_records(&self) -> usize {
+        if self.stream_chunk == 0 {
+            DEFAULT_STREAM_CHUNK
+        } else {
+            self.stream_chunk
+        }
+    }
+
+    /// Estimated peak packed-trace bytes of one in-flight streamed work
+    /// item, for budget admission: the consumer's batch plus the producer
+    /// pipeline ([`chirp_trace::STREAM_PIPELINE_CHUNKS`] buffered + one
+    /// being filled).
+    pub(crate) fn stream_unit_estimate(&self) -> u64 {
+        let chunk = self.stream_chunk_records().min(self.instructions.max(1));
+        PackedTrace::estimate_bytes(chunk) * (chirp_trace::STREAM_PIPELINE_CHUNKS as u64 + 2)
     }
 }
 
@@ -291,6 +324,170 @@ pub fn run_suite_cached(
     Ok((runs, stats))
 }
 
+/// Like [`run_suite_cached`], but with streamed traces and per-item
+/// ledger persistence — the production path for long traces:
+///
+/// * each missing (benchmark × policies) work item opens ONE trace
+///   stream — archive-backed when a valid entry exists, else a generator
+///   stream — and runs all its missing policies over it in lockstep
+///   ([`crate::engine::run_stream_units`]), so peak per-unit trace
+///   residency is O(stream chunk) instead of O(trace);
+/// * results are appended to the run ledger as each item completes (not
+///   batched at the end), so a run interrupted mid-suite keeps every
+///   finished item and a rerun resumes from the ledger;
+/// * a corrupt archive entry (I/O, decode or checksum failure at any
+///   point in the stream) falls back to a fresh generator stream, never
+///   fatal — mirroring the materialized path's regenerate-on-corruption.
+///
+/// Results are bit-identical to [`run_suite_cached`] (and thus to
+/// [`run_suite`]): batch boundaries carry no simulation meaning and the
+/// warmup cut lands on the same absolute instruction. Differences are
+/// operational only: generated traces are *not* archived (there is no
+/// resident trace to encode), and lane interleaving does not apply (the
+/// lockstep pass already shares the stream across the item's policies).
+pub fn run_suite_streamed(
+    suite: &[BenchmarkSpec],
+    policies: &[PolicyKind],
+    config: &RunnerConfig,
+    store_root: &Path,
+) -> Result<(Vec<BenchRun>, CacheStats), StoreError> {
+    let mut store = Store::open(store_root)?;
+    let mut stats = CacheStats::default();
+    let mut slots: Vec<Option<BenchRun>> = vec![None; suite.len() * policies.len()];
+
+    let mut work: Vec<WorkItem> = Vec::new();
+    for (bi, bench) in suite.iter().enumerate() {
+        let mut need = Vec::new();
+        for (pi, policy) in policies.iter().enumerate() {
+            let key = run_key(&config.sim, policy, &bench.name, config.instructions);
+            match store.ledger.get(key).and_then(run_from_record) {
+                Some(run) => {
+                    slots[bi * policies.len() + pi] = Some(run);
+                    stats.ledger_hits += 1;
+                }
+                None => need.push(pi),
+            }
+        }
+        if !need.is_empty() {
+            work.push(WorkItem { bench: bi, policies: need });
+        }
+    }
+
+    if !work.is_empty() {
+        let archive = Mutex::new(&mut store.archive);
+        let ledger = Mutex::new(&mut store.ledger);
+        let counters = Mutex::new(CacheStats::default());
+        let (results, _) = run_streamed(
+            &work,
+            config.worker_threads(),
+            config.stream_unit_estimate(),
+            config.mem_budget,
+            |item| {
+                let runs = stream_one_item(&archive, suite, policies, config, item, &counters)?;
+                // Persist this item immediately: interrupt-resumability
+                // hinges on completed items being in the ledger before
+                // the next item starts.
+                let mut ledger = ledger.lock();
+                for (&pi, run) in item.policies.iter().zip(&runs) {
+                    let key = run_key(
+                        &config.sim,
+                        &policies[pi],
+                        &suite[item.bench].name,
+                        config.instructions,
+                    );
+                    ledger.append(key, record_from_run(run, &config.sim, &policies[pi]))?;
+                }
+                Ok(runs)
+            },
+        )?;
+
+        let streamed = counters.into_inner();
+        stats.trace_hits = streamed.trace_hits;
+        stats.trace_generated = streamed.trace_generated;
+        stats.trace_regenerated = streamed.trace_regenerated;
+        for (item, runs) in work.iter().zip(results) {
+            for (&pi, run) in item.policies.iter().zip(runs) {
+                slots[item.bench * policies.len() + pi] = Some(run);
+                stats.simulated += 1;
+            }
+        }
+    }
+
+    let runs = slots
+        .into_iter()
+        .map(|slot| slot.expect("every pair resolved from ledger or streamed simulation"))
+        .collect();
+    Ok((runs, stats))
+}
+
+/// Runs one streamed work item: probes the archive under its lock, then
+/// (unlocked) streams the trace through every missing policy in lockstep.
+/// Any archive-stream failure falls back to a generator stream on fresh
+/// simulators.
+fn stream_one_item(
+    archive: &Mutex<&mut TraceArchive>,
+    suite: &[BenchmarkSpec],
+    policies: &[PolicyKind],
+    config: &RunnerConfig,
+    item: &WorkItem,
+    counters: &Mutex<CacheStats>,
+) -> Result<Vec<BenchRun>, StoreError> {
+    let bench = &suite[item.bench];
+    let chunk = config.stream_chunk_records();
+    let build_sims = || -> Vec<Simulator<crate::PolicyDispatch>> {
+        item.policies
+            .iter()
+            .map(|&pi| {
+                Simulator::with_policy(
+                    &config.sim,
+                    policies[pi].build_dispatch(config.sim.tlb.l2, bench.seed),
+                )
+            })
+            .collect()
+    };
+    let wrap = |results: Vec<RunResult>| -> Vec<BenchRun> {
+        results
+            .into_iter()
+            .map(|result| BenchRun {
+                benchmark: bench.name.clone(),
+                category: bench.category,
+                result,
+            })
+            .collect()
+    };
+
+    let key = TraceArchive::content_key(bench, config.instructions);
+    let probe = {
+        let a = archive.lock();
+        a.entry_meta(key).map(|meta| (a.trace_path(key), meta))
+    };
+    let had_entry = probe.is_some();
+    if let Some((path, meta)) = probe {
+        let attempt = ArchiveTraceStream::open(&path, meta, chunk).and_then(|mut stream| {
+            let mut sims = build_sims();
+            run_stream_units(&mut sims, &mut stream, config.sim.warmup_fraction)
+        });
+        if let Ok(results) = attempt {
+            counters.lock().trace_hits += 1;
+            return Ok(wrap(results));
+        }
+        // Corrupt entry (open, decode or checksum failure): fall back to
+        // regeneration below, like the materialized path.
+    }
+    let mut counts = counters.lock();
+    if had_entry {
+        counts.trace_regenerated += 1;
+    } else {
+        counts.trace_generated += 1;
+    }
+    drop(counts);
+    let mut stream = bench.stream(config.instructions, chunk);
+    let mut sims = build_sims();
+    let results = run_stream_units(&mut sims, &mut stream, config.sim.warmup_fraction)
+        .map_err(|e| StoreError::Corrupt(format!("generator stream failed: {e}")))?;
+    Ok(wrap(results))
+}
+
 /// Fetches one benchmark's packed trace through the archive, holding the
 /// archive lock only for the index probe and the final bookkeeping — the
 /// decode / generate / encode work in between runs lock-free, so fetches
@@ -466,6 +663,126 @@ mod tests {
         // Residency under a tight budget is asserted at the scheduler
         // level (`sched::tests::budget_keeps_one_trace_resident_at_a_time`);
         // the global last-summary slot is racy across parallel tests.
+    }
+
+    #[test]
+    fn streamed_run_matches_cached_and_plain() {
+        let cache_root = TempDir::new("runner-streamed-vs-cached");
+        let stream_root = TempDir::new("runner-streamed");
+        let suite = build_suite(&SuiteConfig { benchmarks: 3 });
+        let policies = [PolicyKind::Lru, PolicyKind::Srrip];
+        // A tiny chunk exercises many batch boundaries per run.
+        let config = RunnerConfig {
+            instructions: 10_000,
+            threads: 2,
+            stream_chunk: 700,
+            ..Default::default()
+        };
+
+        let plain = run_suite(&suite, &policies, &config);
+        let (cached, _) = run_suite_cached(&suite, &policies, &config, cache_root.path()).unwrap();
+        let (streamed, stats) =
+            run_suite_streamed(&suite, &policies, &config, stream_root.path()).unwrap();
+        assert_eq!(streamed, plain, "streamed must be bit-identical to plain");
+        assert_eq!(streamed, cached, "streamed must be bit-identical to cached");
+        assert_eq!(stats.simulated, 6);
+        assert_eq!(stats.trace_generated, 3, "no archive entries yet: generator streams");
+
+        // Second pass answers entirely from the ledger.
+        let (second, stats) =
+            run_suite_streamed(&suite, &policies, &config, stream_root.path()).unwrap();
+        assert_eq!(second, plain);
+        assert_eq!(stats.simulated, 0);
+        assert_eq!(stats.ledger_hits, 6);
+    }
+
+    #[test]
+    fn streamed_run_replays_archived_traces() {
+        let root = TempDir::new("runner-streamed-archive");
+        let suite = build_suite(&SuiteConfig { benchmarks: 2 });
+        let config = RunnerConfig { instructions: 8_000, threads: 2, ..Default::default() };
+
+        // The cached (materialized) pass populates the archive; the
+        // streamed pass then replays those entries for new policies.
+        let (cached, _) =
+            run_suite_cached(&suite, &[PolicyKind::Lru], &config, root.path()).unwrap();
+        let (streamed, stats) = run_suite_streamed(
+            &suite,
+            &[PolicyKind::Lru, PolicyKind::Random],
+            &config,
+            root.path(),
+        )
+        .unwrap();
+        assert_eq!(stats.ledger_hits, 2, "lru results come from the ledger");
+        assert_eq!(stats.simulated, 2, "only random is simulated");
+        assert_eq!(stats.trace_hits, 2, "traces stream from the archive");
+        assert_eq!(stats.trace_generated, 0);
+        assert_eq!(&streamed[0], &cached[0]);
+        let plain = run_suite(&suite, &[PolicyKind::Lru, PolicyKind::Random], &config);
+        assert_eq!(streamed, plain, "archive-streamed must equal plain");
+    }
+
+    #[test]
+    fn streamed_run_resumes_from_a_partial_ledger() {
+        let root = TempDir::new("runner-streamed-resume");
+        let suite = build_suite(&SuiteConfig { benchmarks: 3 });
+        let policies = [PolicyKind::Lru, PolicyKind::Random];
+        let config = RunnerConfig { instructions: 6_000, threads: 2, ..Default::default() };
+
+        // Simulate an interrupted run: only the first benchmark's items
+        // made it into the ledger before the "crash".
+        run_suite_streamed(&suite[..1], &policies, &config, root.path()).unwrap();
+
+        let (runs, stats) = run_suite_streamed(&suite, &policies, &config, root.path()).unwrap();
+        assert_eq!(stats.ledger_hits, 2, "the finished benchmark is not re-simulated");
+        assert_eq!(stats.simulated, 4, "only the remaining benchmarks run");
+        assert_eq!(runs, run_suite(&suite, &policies, &config));
+    }
+
+    #[test]
+    fn streamed_run_regenerates_corrupt_archive_entries() {
+        let root = TempDir::new("runner-streamed-corrupt");
+        let suite = build_suite(&SuiteConfig { benchmarks: 1 });
+        let config = RunnerConfig { instructions: 6_000, threads: 1, ..Default::default() };
+
+        // Populate the archive, then flip a byte in the stored trace.
+        run_suite_cached(&suite, &[PolicyKind::Lru], &config, root.path()).unwrap();
+        let archive = TraceArchive::open(root.path()).unwrap();
+        let path = archive.trace_path(TraceArchive::content_key(&suite[0], config.instructions));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (runs, stats) =
+            run_suite_streamed(&suite, &[PolicyKind::Random], &config, root.path()).unwrap();
+        assert_eq!(stats.trace_regenerated, 1, "corrupt entry falls back to the generator");
+        assert_eq!(stats.trace_hits, 0);
+        assert_eq!(runs, run_suite(&suite, &[PolicyKind::Random], &config));
+    }
+
+    #[test]
+    fn streamed_run_respects_memory_budget_and_chunk_sizes() {
+        let suite = build_suite(&SuiteConfig { benchmarks: 3 });
+        let policies = [PolicyKind::Lru, PolicyKind::Random];
+        let plain = run_suite(
+            &suite,
+            &policies,
+            &RunnerConfig { instructions: 6_000, threads: 4, ..Default::default() },
+        );
+        for (chunk, budget) in [(0usize, Some(1u64)), (1, None), (257, Some(1))] {
+            let root = TempDir::new(&format!("runner-streamed-budget-{chunk}"));
+            let config = RunnerConfig {
+                instructions: 6_000,
+                threads: 4,
+                mem_budget: budget,
+                stream_chunk: chunk,
+                ..Default::default()
+            };
+            let (streamed, _) =
+                run_suite_streamed(&suite, &policies, &config, root.path()).unwrap();
+            assert_eq!(streamed, plain, "chunk={chunk} budget={budget:?}");
+        }
     }
 
     #[test]

@@ -370,6 +370,150 @@ where
     Ok((out, summary))
 }
 
+/// Scheduler state for [`run_streamed`]: no trace table — a streamed work
+/// item owns its trace source for its whole lifetime, so admission only
+/// tracks the estimated per-item residency.
+struct StreamState {
+    next: usize,
+    active: usize,
+    resident_bytes: u64,
+    error: Option<StoreError>,
+    peak_active: usize,
+    peak_bytes: u64,
+}
+
+/// Streaming counterpart of [`run_unit_groups`]: each work item is ONE
+/// task — `exec` opens the item's trace stream itself, runs every listed
+/// policy over it in lockstep (one generation/decode pass, see
+/// [`crate::engine::run_stream_units`]) and returns one result per policy
+/// position. No trace is ever shared or resident in the scheduler;
+/// `unit_bytes` is the estimated peak residency of one in-flight item
+/// (a few stream chunks), and `budget` caps the sum across items with the
+/// same always-admit-one rule as the materialized scheduler — so a tight
+/// budget degrades to serial items, never deadlock.
+///
+/// Because `exec` runs an item end to end (including any per-item
+/// persistence the caller does inside it), a run killed mid-suite keeps
+/// every completed item's side effects — the basis of `--resume`.
+///
+/// # Errors
+///
+/// The first `exec` error stops admission, in-flight items drain, and the
+/// error is returned.
+pub fn run_streamed<E, R>(
+    work: &[WorkItem],
+    threads: usize,
+    unit_bytes: u64,
+    budget: Option<u64>,
+    exec: E,
+) -> Result<(Vec<Vec<R>>, SchedulerSummary), StoreError>
+where
+    E: Fn(&WorkItem) -> Result<Vec<R>, StoreError> + Sync,
+    R: Send,
+{
+    let started = Instant::now();
+    let threads = threads.max(1);
+    let state = Mutex::new(StreamState {
+        next: 0,
+        active: 0,
+        resident_bytes: 0,
+        error: None,
+        peak_active: 0,
+        peak_bytes: 0,
+    });
+    let cvar = Condvar::new();
+    let results: Mutex<Vec<Option<Vec<R>>>> = Mutex::new(work.iter().map(|_| None).collect());
+    let queue_depth = Gauge::new();
+    let sim_latency = Log2Histogram::new();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let state = &state;
+            let cvar = &cvar;
+            let results = &results;
+            let exec = &exec;
+            let queue_depth = &queue_depth;
+            let sim_latency = &sim_latency;
+            scope.spawn(move || loop {
+                let w = {
+                    let mut st = state.lock().expect("stream scheduler lock");
+                    loop {
+                        if st.next < work.len() && st.error.is_none() {
+                            let alone = st.active == 0;
+                            let fits = budget.is_none_or(|b| st.resident_bytes + unit_bytes <= b);
+                            if alone || fits {
+                                let w = st.next;
+                                st.next += 1;
+                                st.active += 1;
+                                st.resident_bytes += unit_bytes;
+                                st.peak_active = st.peak_active.max(st.active);
+                                st.peak_bytes = st.peak_bytes.max(st.resident_bytes);
+                                queue_depth.add(1);
+                                break Some(w);
+                            }
+                        } else if st.active == 0 {
+                            break None;
+                        }
+                        st = cvar.wait(st).expect("stream scheduler lock");
+                    }
+                };
+                let Some(w) = w else { return };
+                let item_started = Instant::now();
+                let outcome = exec(&work[w]);
+                sim_latency.record(item_started.elapsed().as_micros() as u64);
+                queue_depth.add(-1);
+                match outcome {
+                    Ok(rs) => {
+                        assert_eq!(
+                            rs.len(),
+                            work[w].policies.len(),
+                            "one result per policy position"
+                        );
+                        results.lock().expect("results lock")[w] = Some(rs);
+                    }
+                    Err(e) => {
+                        let mut st = state.lock().expect("stream scheduler lock");
+                        if st.error.is_none() {
+                            st.error = Some(e);
+                        }
+                        st.next = work.len();
+                    }
+                }
+                let mut st = state.lock().expect("stream scheduler lock");
+                st.active -= 1;
+                st.resident_bytes -= unit_bytes;
+                drop(st);
+                cvar.notify_all();
+            });
+        }
+    });
+
+    let st = state.into_inner().expect("stream scheduler lock");
+    if let Some(e) = st.error {
+        return Err(e);
+    }
+    let summary = SchedulerSummary {
+        work_units: work.len(),
+        sim_tasks: work.iter().map(|w| w.policies.len()).sum(),
+        threads,
+        cpus: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        peak_resident_traces: st.peak_active,
+        peak_resident_bytes: st.peak_bytes,
+        concurrent_fetch_peak: st.peak_active,
+        peak_ready_queue: queue_depth.peak(),
+        sim_latency_us: sim_latency.snapshot(),
+        wall: started.elapsed(),
+    };
+    *LAST.lock().expect("summary lock") = Some(summary.clone());
+    let out = results
+        .into_inner()
+        .expect("results lock")
+        .into_iter()
+        .map(|row| row.expect("every streamed item ran"))
+        .collect();
+    Ok((out, summary))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -549,6 +693,70 @@ mod tests {
         assert!(results.is_empty());
         assert_eq!(summary.sim_tasks, 0);
         assert_eq!(summary.peak_resident_traces, 0);
+    }
+
+    #[test]
+    fn streamed_results_land_in_item_order() {
+        let work = vec![
+            WorkItem { bench: 0, policies: vec![0, 1, 2] },
+            WorkItem { bench: 1, policies: vec![1] },
+            WorkItem { bench: 2, policies: vec![0, 2] },
+        ];
+        let (results, summary) = run_streamed(&work, 4, 64, None, |item| {
+            Ok(item.policies.iter().map(|&p| (item.bench, p)).collect())
+        })
+        .unwrap();
+        assert_eq!(results, vec![vec![(0, 0), (0, 1), (0, 2)], vec![(1, 1)], vec![(2, 0), (2, 2)]]);
+        assert_eq!(summary.work_units, 3);
+        assert_eq!(summary.sim_tasks, 6);
+        assert_eq!(summary.sim_latency_us.total(), 3, "one latency sample per item");
+    }
+
+    #[test]
+    fn streamed_budget_serialises_items() {
+        let work: Vec<WorkItem> =
+            (0..5).map(|bench| WorkItem { bench, policies: vec![0] }).collect();
+        // Budget admits exactly one estimated unit at a time.
+        let (results, summary) =
+            run_streamed(&work, 4, 64, Some(64), |item| Ok(vec![item.bench])).unwrap();
+        assert_eq!(results.len(), 5);
+        assert_eq!(summary.peak_resident_traces, 1, "budget must serialise streamed items");
+        assert!(summary.peak_resident_bytes <= 64);
+    }
+
+    #[test]
+    fn streamed_oversized_unit_still_admitted_when_alone() {
+        let work = vec![WorkItem { bench: 0, policies: vec![0] }];
+        let (results, _) =
+            run_streamed(&work, 2, 1 << 40, Some(1024), |_| Ok(vec![7usize])).unwrap();
+        assert_eq!(results, vec![vec![7]]);
+    }
+
+    #[test]
+    fn streamed_error_is_returned_and_stops_admission() {
+        let work: Vec<WorkItem> =
+            (0..4).map(|bench| WorkItem { bench, policies: vec![0] }).collect();
+        let executed = AtomicUsize::new(0);
+        let err = run_streamed(&work, 1, 64, None, |item| {
+            executed.fetch_add(1, Ordering::SeqCst);
+            if item.bench == 1 {
+                Err(StoreError::Corrupt("stream boom".into()))
+            } else {
+                Ok(vec![item.bench])
+            }
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("stream boom"));
+        // Serial worker: items 0 and 1 ran, admission then stopped.
+        assert_eq!(executed.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn streamed_empty_work_completes() {
+        let (results, summary) =
+            run_streamed(&[], 3, 64, Some(1), |_: &WorkItem| Ok(vec![0usize])).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(summary.sim_tasks, 0);
     }
 
     #[test]

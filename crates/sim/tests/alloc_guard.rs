@@ -10,6 +10,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use chirp_core::ChirpConfig;
 use chirp_sim::{run_columnar_lanes, LaneUnit, PolicyKind, SimConfig, Simulator};
@@ -43,6 +44,12 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+/// `ALLOCATIONS` is process-global, but libtest runs the two tests below
+/// on separate threads: one test's setup allocations can land inside the
+/// other's measured window and fail it spuriously. Each test holds this
+/// lock for its whole body so a measured window owns the counter.
+static GATE: Mutex<()> = Mutex::new(());
+
 /// Allocation count of one `run_columnar` call, simulator construction
 /// excluded.
 fn allocs_for_run(policy: &PolicyKind, config: &SimConfig, instructions: usize, seed: u64) -> u64 {
@@ -66,6 +73,7 @@ fn lineup9() -> Vec<PolicyKind> {
 
 #[test]
 fn hot_loop_does_not_allocate_per_instruction() {
+    let _counter = GATE.lock().unwrap_or_else(|e| e.into_inner());
     let config = SimConfig::default();
     for policy in &lineup9() {
         let short = allocs_for_run(policy, &config, 4_000, 7);
@@ -106,6 +114,7 @@ fn allocs_for_lane_run(config: &SimConfig, instructions: usize, lanes: usize) ->
 /// (three waves) inside the measured window.
 #[test]
 fn lane_engine_does_not_allocate_per_instruction() {
+    let _counter = GATE.lock().unwrap_or_else(|e| e.into_inner());
     let config = SimConfig::default();
     let short = allocs_for_lane_run(&config, 4_000, 4);
     let long = allocs_for_lane_run(&config, 40_000, 4);

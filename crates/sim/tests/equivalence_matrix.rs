@@ -203,6 +203,108 @@ proptest! {
     }
 }
 
+/// One streamed unit: fresh simulator fed from a generator stream with
+/// the given chunk size, compared field-for-field (including policy
+/// state) against the sequential columnar run of the materialized trace.
+fn streamed_path(
+    policy: &PolicyKind,
+    config: &SimConfig,
+    bench: &chirp_trace::suite::BenchmarkSpec,
+    len: usize,
+    chunk: usize,
+) -> PathOutcome {
+    let mut stream = bench.stream(len, chunk);
+    let mut sim = Simulator::with_policy(config, policy.build_dispatch(config.tlb.l2, bench.seed));
+    let result = sim.run_stream(&mut stream, config.warmup_fraction).expect("generator stream");
+    outcome_of(sim, result)
+}
+
+/// The streaming gate: every policy in the lineup, fed the suite
+/// benchmarks through bounded generator streams, must be bit-identical —
+/// run totals, L2 stats and CHiRP internal counters — to the sequential
+/// columnar run over the materialized trace. Chunk sizes cover the
+/// 1-record degenerate case, sizes that do not divide the trace length,
+/// and a chunk larger than the whole trace (single-batch stream).
+#[test]
+fn streamed_matches_materialized_for_every_policy_and_benchmark() {
+    let suite = build_suite(&SuiteConfig { benchmarks: BENCHMARKS });
+    let config = SimConfig::default();
+    let policies = lineup9();
+
+    for bench in &suite {
+        let trace = bench.generate_packed(INSTRUCTIONS);
+        for policy in &policies {
+            let want = columnar_path(policy, &config, &trace, bench.seed);
+            for chunk in [977, 4_096, INSTRUCTIONS + 1] {
+                let got = streamed_path(policy, &config, bench, INSTRUCTIONS, chunk);
+                assert_eq!(
+                    got,
+                    want,
+                    "streamed diverged: {} on {} at chunk {chunk}",
+                    policy.name(),
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+/// Lockstep streaming — several policies sharing one stream pass — must
+/// equal each policy's independent materialized run, including policy
+/// state.
+#[test]
+fn lockstep_stream_matches_independent_materialized_runs() {
+    let suite = build_suite(&SuiteConfig { benchmarks: 2 });
+    let config = SimConfig::default();
+    let policies = lineup9();
+
+    for bench in &suite {
+        let trace = bench.generate_packed(INSTRUCTIONS);
+        let mut sims: Vec<_> = policies
+            .iter()
+            .map(|p| Simulator::with_policy(&config, p.build_dispatch(config.tlb.l2, bench.seed)))
+            .collect();
+        let mut stream = bench.stream(INSTRUCTIONS, 1_111);
+        let results =
+            chirp_sim::run_stream_units(&mut sims, &mut stream, config.warmup_fraction).unwrap();
+        for ((policy, sim), result) in policies.iter().zip(sims).zip(results) {
+            let got = outcome_of(sim, result);
+            let want = columnar_path(policy, &config, &trace, bench.seed);
+            assert_eq!(got, want, "lockstep diverged: {} on {}", policy.name(), bench.name);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random chunk sizes (from the 1-record degenerate case up through
+    /// sizes that do not divide the trace), random trace lengths and
+    /// random warmup fractions whose cut lands mid-chunk and mid-batch:
+    /// the streamed run stays bit-identical to the materialized columnar
+    /// run for every policy in the lineup.
+    #[test]
+    fn streamed_matches_materialized_under_random_chunks_and_warmup(
+        warmup_pm in 0u32..1001,
+        chunk in 1usize..9_000,
+        len in 1usize..9_000,
+        policy_ix in 0usize..9,
+    ) {
+        let warmup = f64::from(warmup_pm) / 1000.0;
+        let suite = build_suite(&SuiteConfig { benchmarks: 1 });
+        let bench = &suite[0];
+        let config = SimConfig { warmup_fraction: warmup, ..SimConfig::default() };
+        let policy = &lineup9()[policy_ix];
+        let trace = bench.generate_packed(len);
+        let want = columnar_path(policy, &config, &trace, bench.seed);
+        let got = streamed_path(policy, &config, bench, len, chunk);
+        prop_assert_eq!(
+            got, want,
+            "policy={} len={} chunk={} warmup={}", policy.name(), len, chunk, warmup
+        );
+    }
+}
+
 /// The retired dynamic-dispatch path must still agree with the columnar
 /// path while the `legacy-dyn` shim exists.
 #[cfg(feature = "legacy-dyn")]

@@ -1,0 +1,94 @@
+//! Peak-residency gauge for the streaming path.
+//!
+//! A live-bytes tracking global allocator wraps the system allocator and
+//! records the high-water mark of outstanding heap bytes (across all
+//! threads, so the generator's producer thread is counted). The test
+//! streams a trace two orders of magnitude larger than the chunk size
+//! through a simulator and asserts the peak heap growth during the run
+//! is a small multiple of one chunk — i.e. O(chunk), not O(trace). The
+//! materialized path would retain the whole packed trace (~13 bytes per
+//! record), so an accidental materialization anywhere in the pipeline
+//! trips the bound immediately. Separate integration test so the
+//! allocator swap owns its process.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use chirp_sim::{PolicyKind, SimConfig, Simulator};
+use chirp_trace::suite::{build_suite, SuiteConfig};
+use chirp_trace::PackedTrace;
+
+struct LiveBytesAlloc;
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+fn grow(bytes: u64) {
+    let live = LIVE.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for LiveBytesAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        grow(layout.size() as u64);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        grow(layout.size() as u64);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        grow(new_size as u64);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: LiveBytesAlloc = LiveBytesAlloc;
+
+#[test]
+fn streamed_run_keeps_trace_residency_proportional_to_chunk() {
+    const LEN: usize = 400_000;
+    const CHUNK: usize = 4_096;
+
+    let suite = build_suite(&SuiteConfig { benchmarks: 1 });
+    let bench = &suite[0];
+    let config = SimConfig::default();
+    let policy = PolicyKind::Lru;
+    // Simulator construction (TLB arrays, policy tables) happens outside
+    // the measured window; only the streaming itself is gauged.
+    let mut sim = Simulator::with_policy(&config, policy.build_dispatch(config.tlb.l2, bench.seed));
+
+    let mut stream = bench.stream(LEN, CHUNK);
+    let before = LIVE.load(Ordering::Relaxed);
+    PEAK.store(before, Ordering::Relaxed);
+    let result = sim.run_stream(&mut stream, config.warmup_fraction).unwrap();
+    let peak = PEAK.load(Ordering::Relaxed).saturating_sub(before);
+
+    assert_eq!(result.instructions as usize, LEN - LEN / 2, "measured window covers half");
+
+    let chunk_bytes = PackedTrace::estimate_bytes(CHUNK);
+    let trace_bytes = PackedTrace::estimate_bytes(LEN);
+    // Pipeline depth is a handful of chunks (producer builds one, the
+    // channel buffers STREAM_PIPELINE_CHUNKS, the consumer holds one);
+    // 16× leaves slack for builder growth doubling and per-batch scratch
+    // while staying ~6× under the materialized trace size.
+    let bound = chunk_bytes * 16;
+    assert!(
+        bound * 4 < trace_bytes,
+        "test is vacuous: bound {bound} must sit well under the trace size {trace_bytes}"
+    );
+    assert!(
+        peak <= bound,
+        "streamed peak residency {peak} bytes exceeds O(chunk) bound {bound} \
+         (chunk {chunk_bytes} bytes, materialized trace would be {trace_bytes} bytes)"
+    );
+}

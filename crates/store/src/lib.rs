@@ -29,6 +29,7 @@ pub mod archive;
 pub mod hash;
 pub mod json;
 pub mod ledger;
+pub mod stream;
 pub mod tempdir;
 
 pub use archive::{
@@ -37,6 +38,7 @@ pub use archive::{
 pub use hash::{fnv64, hex16, parse_hex16, Fnv64};
 pub use json::{JsonError, JsonObject, JsonValue};
 pub use ledger::{LedgerLine, RunLedger};
+pub use stream::ArchiveTraceStream;
 pub use tempdir::TempDir;
 
 use std::fmt;

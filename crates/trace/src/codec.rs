@@ -18,7 +18,7 @@
 
 use crate::packed::{PackedTrace, PackedTraceBuilder};
 use crate::record::{InstrKind, TraceRecord};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, BytesMut};
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"CHRP";
@@ -79,21 +79,88 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+/// Internal byte source for decoding: slice cursors (the in-memory decode
+/// paths) and `io::Read` adapters (the chunked streaming path) feed the
+/// same record decoder, so the two paths cannot diverge. End-of-source
+/// must surface as [`CodecError::Truncated`] (possibly wrapped in the
+/// source's error type).
+trait ByteSource {
+    /// The error decoding through this source produces.
+    type Error: From<CodecError>;
+
+    /// The next byte, or `Truncated` at end of source.
+    fn get_u8(&mut self) -> Result<u8, Self::Error>;
+
+    /// Fills `out` exactly, or fails with `Truncated`.
+    fn fill_exact(&mut self, out: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+/// Cursor over an in-memory buffer.
+struct SliceSource<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl ByteSource for SliceSource<'_> {
+    type Error = CodecError;
+
+    #[inline]
+    fn get_u8(&mut self) -> Result<u8, CodecError> {
+        let byte = *self.data.get(self.pos).ok_or(CodecError::Truncated)?;
+        self.pos += 1;
+        Ok(byte)
+    }
+
+    fn fill_exact(&mut self, out: &mut [u8]) -> Result<(), CodecError> {
+        let end = self.pos.checked_add(out.len()).ok_or(CodecError::Truncated)?;
+        if end > self.data.len() {
+            return Err(CodecError::Truncated);
+        }
+        out.copy_from_slice(&self.data[self.pos..end]);
+        self.pos = end;
+        Ok(())
+    }
+}
+
+/// Adapter over any `io::Read`; wrap the reader in a `BufReader` (the
+/// decoder pulls single bytes).
+struct ReaderSource<R: std::io::Read> {
+    inner: R,
+}
+
+impl<R: std::io::Read> ByteSource for ReaderSource<R> {
+    type Error = ChunkedDecodeError;
+
+    #[inline]
+    fn get_u8(&mut self) -> Result<u8, ChunkedDecodeError> {
+        let mut byte = [0u8; 1];
+        self.fill_exact(&mut byte)?;
+        Ok(byte[0])
+    }
+
+    fn fill_exact(&mut self, out: &mut [u8]) -> Result<(), ChunkedDecodeError> {
+        self.inner.read_exact(out).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                ChunkedDecodeError::Codec(CodecError::Truncated)
+            } else {
+                ChunkedDecodeError::Io(e)
+            }
+        })
+    }
+}
+
+fn get_varint<S: ByteSource>(src: &mut S) -> Result<u64, S::Error> {
     let mut shift = 0u32;
     let mut out = 0u64;
     for _ in 0..10 {
-        if !buf.has_remaining() {
-            return Err(CodecError::Truncated);
-        }
-        let byte = buf.get_u8();
+        let byte = src.get_u8()?;
         out |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
             return Ok(out);
         }
         shift += 7;
     }
-    Err(CodecError::BadVarint)
+    Err(CodecError::BadVarint.into())
 }
 
 /// Serialises a trace into the compact binary format.
@@ -150,51 +217,44 @@ fn encode<I: Iterator<Item = TraceRecord>>(count: usize, records: I) -> Vec<u8> 
     buf.to_vec()
 }
 
-/// Streaming decoder: header validation up front, then one record per
-/// [`Decoder::next_record`] call. Both [`read_trace`] and
-/// [`read_trace_packed`] drive this, so the two paths cannot diverge.
-struct Decoder {
-    buf: Bytes,
+/// Record-level decode state shared by every decode path: header
+/// validation up front, then one record per [`DecoderCore::next_record`]
+/// call. [`read_trace`], [`read_trace_packed`] and [`ChunkedDecoder`] all
+/// drive this, so the paths cannot diverge.
+struct DecoderCore {
     remaining: usize,
     prev_pc: u64,
 }
 
-impl Decoder {
-    fn new(data: &[u8]) -> Result<Decoder, CodecError> {
-        let mut buf = Bytes::copy_from_slice(data);
-        if buf.remaining() < 4 + 1 + 8 {
-            return Err(CodecError::Truncated);
-        }
+impl DecoderCore {
+    fn read_header<S: ByteSource>(src: &mut S) -> Result<DecoderCore, S::Error> {
         let mut magic = [0u8; 4];
-        buf.copy_to_slice(&mut magic);
+        src.fill_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(CodecError::BadMagic);
+            return Err(CodecError::BadMagic.into());
         }
-        let version = buf.get_u8();
+        let version = src.get_u8()?;
         if version != VERSION {
-            return Err(CodecError::UnsupportedVersion(version));
+            return Err(CodecError::UnsupportedVersion(version).into());
         }
-        let count = buf.get_u64_le() as usize;
-        Ok(Decoder { buf, remaining: count, prev_pc: 0 })
+        let mut count = [0u8; 8];
+        src.fill_exact(&mut count)?;
+        Ok(DecoderCore { remaining: u64::from_le_bytes(count) as usize, prev_pc: 0 })
     }
 
-    fn next_record(&mut self) -> Result<Option<TraceRecord>, CodecError> {
+    fn next_record<S: ByteSource>(&mut self, src: &mut S) -> Result<Option<TraceRecord>, S::Error> {
         if self.remaining == 0 {
             return Ok(None);
         }
         self.remaining -= 1;
-        if self.buf.remaining() < 2 {
-            return Err(CodecError::Truncated);
-        }
-        let kind_byte = self.buf.get_u8();
+        let kind_byte = src.get_u8()?;
         let kind = InstrKind::from_u8(kind_byte).ok_or(CodecError::BadKind(kind_byte))?;
-        let flags = self.buf.get_u8();
-        let delta = zigzag_decode(get_varint(&mut self.buf)?);
+        let flags = src.get_u8()?;
+        let delta = zigzag_decode(get_varint(src)?);
         let pc = self.prev_pc.wrapping_add(delta as u64);
         self.prev_pc = pc;
-        let effective_address =
-            if flags & FLAG_HAS_EA != 0 { get_varint(&mut self.buf)? } else { 0 };
-        let target = if flags & FLAG_HAS_TARGET != 0 { get_varint(&mut self.buf)? } else { 0 };
+        let effective_address = if flags & FLAG_HAS_EA != 0 { get_varint(src)? } else { 0 };
+        let target = if flags & FLAG_HAS_TARGET != 0 { get_varint(src)? } else { 0 };
         Ok(Some(TraceRecord {
             pc,
             kind,
@@ -202,6 +262,136 @@ impl Decoder {
             target,
             taken: flags & FLAG_TAKEN != 0,
         }))
+    }
+}
+
+/// Slice-backed decoder driving [`DecoderCore`]; the engine behind
+/// [`read_trace`] and [`read_trace_packed`].
+struct Decoder<'a> {
+    src: SliceSource<'a>,
+    core: DecoderCore,
+}
+
+impl<'a> Decoder<'a> {
+    fn new(data: &'a [u8]) -> Result<Decoder<'a>, CodecError> {
+        // Historical contract: an undersized buffer is Truncated even when
+        // its first bytes would also fail the magic check.
+        if data.len() < 4 + 1 + 8 {
+            return Err(CodecError::Truncated);
+        }
+        let mut src = SliceSource { data, pos: 0 };
+        let core = DecoderCore::read_header(&mut src)?;
+        Ok(Decoder { src, core })
+    }
+
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, CodecError> {
+        self.core.next_record(&mut self.src)
+    }
+
+    fn remaining(&self) -> usize {
+        self.core.remaining
+    }
+}
+
+/// Errors produced by the chunked (reader-backed) decode path: either a
+/// malformed encoding or an I/O failure from the underlying reader.
+#[derive(Debug)]
+pub enum ChunkedDecodeError {
+    /// The byte stream is not a valid `CHRP` encoding.
+    Codec(CodecError),
+    /// The underlying reader failed (not end-of-stream — a premature EOF
+    /// surfaces as `Codec(Truncated)`).
+    Io(std::io::Error),
+}
+
+impl From<CodecError> for ChunkedDecodeError {
+    fn from(e: CodecError) -> Self {
+        ChunkedDecodeError::Codec(e)
+    }
+}
+
+impl fmt::Display for ChunkedDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChunkedDecodeError::Codec(e) => write!(f, "{e}"),
+            ChunkedDecodeError::Io(e) => write!(f, "trace stream read failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChunkedDecodeError {}
+
+/// Chunked decode path over any [`std::io::Read`]: records come out in
+/// bounded [`PackedTrace`] batches, so peak decode memory is O(chunk)
+/// instead of O(trace). Drives the same decoder core as the in-memory
+/// paths, so the decoded record sequence is bit-identical to
+/// [`read_trace_packed`] on the concatenated chunks.
+///
+/// Wrap file readers in a [`std::io::BufReader`] — the decoder pulls
+/// single bytes from the source.
+///
+/// ```
+/// use chirp_trace::{codec::ChunkedDecoder, write_trace, TraceRecord};
+///
+/// let trace = vec![TraceRecord::alu(0x400000), TraceRecord::load(0x400004, 0x7000)];
+/// let bytes = write_trace(&trace);
+/// let mut dec = ChunkedDecoder::new(&bytes[..])?;
+/// assert_eq!(dec.remaining(), 2);
+/// let chunk = dec.next_chunk(1)?.expect("first record");
+/// assert_eq!(chunk.len(), 1);
+/// # Ok::<(), chirp_trace::codec::ChunkedDecodeError>(())
+/// ```
+pub struct ChunkedDecoder<R: std::io::Read> {
+    src: ReaderSource<R>,
+    core: DecoderCore,
+}
+
+impl<R: std::io::Read> ChunkedDecoder<R> {
+    /// Reads and validates the `CHRP` header, leaving the reader
+    /// positioned at the first record.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad magic/version, a header cut short
+    /// (`Codec(Truncated)`), or a reader I/O error.
+    pub fn new(reader: R) -> Result<ChunkedDecoder<R>, ChunkedDecodeError> {
+        let mut src = ReaderSource { inner: reader };
+        let core = DecoderCore::read_header(&mut src)?;
+        Ok(ChunkedDecoder { src, core })
+    }
+
+    /// Records not yet decoded (per the header's declared count).
+    pub fn remaining(&self) -> usize {
+        self.core.remaining
+    }
+
+    /// Decodes up to `max` records into a fresh [`PackedTrace`]; `None`
+    /// once the declared record count is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`read_trace`], plus reader I/O errors. After
+    /// an error the decoder is poisoned — further calls are unspecified
+    /// (the stream position is mid-record).
+    pub fn next_chunk(&mut self, max: usize) -> Result<Option<PackedTrace>, ChunkedDecodeError> {
+        if self.core.remaining == 0 {
+            return Ok(None);
+        }
+        let take = max.max(1).min(self.core.remaining);
+        let mut builder = PackedTraceBuilder::with_capacity(take);
+        for _ in 0..take {
+            match self.core.next_record(&mut self.src)? {
+                Some(rec) => builder.push(rec),
+                None => break,
+            }
+        }
+        Ok(Some(builder.finish()))
+    }
+
+    /// Consumes the decoder, returning the underlying reader — lets a
+    /// checksumming reader be inspected once decoding is done.
+    pub fn into_inner(self) -> R {
+        self.src.inner
     }
 }
 
@@ -213,7 +403,7 @@ impl Decoder {
 /// version or kind, or contains a malformed varint.
 pub fn read_trace(data: &[u8]) -> Result<Vec<TraceRecord>, CodecError> {
     let mut decoder = Decoder::new(data)?;
-    let mut out = Vec::with_capacity(decoder.remaining);
+    let mut out = Vec::with_capacity(decoder.remaining());
     while let Some(rec) = decoder.next_record()? {
         out.push(rec);
     }
@@ -251,7 +441,7 @@ pub fn peek_record_count(data: &[u8]) -> Result<u64, CodecError> {
 
 pub fn read_trace_packed(data: &[u8]) -> Result<PackedTrace, CodecError> {
     let mut decoder = Decoder::new(data)?;
-    let mut builder = PackedTraceBuilder::with_capacity(decoder.remaining);
+    let mut builder = PackedTraceBuilder::with_capacity(decoder.remaining());
     while let Some(rec) = decoder.next_record()? {
         builder.push(rec);
     }
@@ -375,6 +565,54 @@ mod tests {
     }
 
     #[test]
+    fn chunked_decode_matches_whole_buffer_decode() {
+        let trace = vec![
+            TraceRecord::alu(0x400000),
+            TraceRecord::load(0x400004, 0x7fff_0000_1234),
+            TraceRecord::cond_branch(0x40000c, 0x400000, true),
+            TraceRecord::call(0x400010, 0x500000),
+            TraceRecord::ret(0x500040, 0x400014),
+        ];
+        let bytes = write_trace(&trace);
+        for chunk in [1usize, 2, 3, 5, 64] {
+            let mut dec = ChunkedDecoder::new(&bytes[..]).unwrap();
+            let mut got = Vec::new();
+            while let Some(batch) = dec.next_chunk(chunk).unwrap() {
+                assert!(batch.len() <= chunk);
+                got.extend(batch.iter());
+            }
+            assert_eq!(got, trace, "chunk size {chunk}");
+            assert_eq!(dec.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn chunked_decode_rejects_what_whole_buffer_decode_rejects() {
+        let mut bad = write_trace(&[TraceRecord::alu(0)]);
+        bad[0] = b'X';
+        assert!(matches!(
+            ChunkedDecoder::new(&bad[..]),
+            Err(ChunkedDecodeError::Codec(CodecError::BadMagic))
+        ));
+        let bytes = write_trace(&[TraceRecord::load(0x400000, 0x12345678)]);
+        for cut in 0..bytes.len() {
+            let drained = ChunkedDecoder::new(&bytes[..cut]).and_then(|mut dec| {
+                while dec.next_chunk(4)?.is_some() {}
+                Ok(())
+            });
+            assert!(drained.is_err(), "prefix of length {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn chunked_decode_empty_trace_yields_no_chunks() {
+        let bytes = write_trace(&[]);
+        let mut dec = ChunkedDecoder::new(&bytes[..]).unwrap();
+        assert_eq!(dec.remaining(), 0);
+        assert!(dec.next_chunk(16).unwrap().is_none());
+    }
+
+    #[test]
     fn zigzag_is_involutive() {
         for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 0x7fff_ffff_ffff] {
             assert_eq!(zigzag_decode(zigzag_encode(v)), v);
@@ -430,6 +668,20 @@ mod tests {
                 let packed = read_trace_packed(&bytes).unwrap();
                 prop_assert_eq!(packed.to_records(), trace.clone());
                 prop_assert_eq!(write_trace_packed(&packed), bytes);
+            }
+
+            #[test]
+            fn chunked_decode_agrees_with_flat_decode(
+                trace in vec(arb_record(), 0..200usize),
+                chunk in 1usize..64,
+            ) {
+                let bytes = write_trace(&trace);
+                let mut dec = ChunkedDecoder::new(&bytes[..]).unwrap();
+                let mut got = Vec::new();
+                while let Some(batch) = dec.next_chunk(chunk).unwrap() {
+                    got.extend(batch.iter());
+                }
+                prop_assert_eq!(got, trace);
             }
 
             #[test]

@@ -18,7 +18,6 @@
 //! signature is designed to capture (paper §II-E, §IV-B).
 
 use super::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen};
-use crate::packed::PackedTrace;
 use crate::record::TraceRecord;
 use crate::PAGE_SIZE;
 use rand::rngs::SmallRng;
@@ -74,7 +73,7 @@ impl WorkloadGen for ContextCopy {
         Category::Mixed
     }
 
-    fn generate_packed(&self, len: usize, seed: u64) -> PackedTrace {
+    fn emit_into(&self, em: &mut Emitter, seed: u64) {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xC7C0);
         let mut asp = AddressSpace::new();
         let main_fn = CodeBlock::new(asp.code_region(1));
@@ -85,7 +84,6 @@ impl WorkloadGen for ContextCopy {
         let hot_base = asp.data_region(self.hot_pages);
         let stream_base = asp.data_region(self.stream_pages);
 
-        let mut em = Emitter::new(len);
         let lines_per_page = PAGE_SIZE / self.line_bytes.max(1);
         let mut hot_cursor = 0u64; // page index within hot buffer
         let mut stream_cursor = 0u64; // page index within stream region
@@ -98,7 +96,7 @@ impl WorkloadGen for ContextCopy {
                 em.push(TraceRecord::cond_branch(main_fn.pc(1), main_fn.pc(2), false));
                 em.push(TraceRecord::call(main_fn.pc(2), site_a.entry()));
                 let first_page = hot_cursor;
-                self.emit_copy_loop(&mut em, &mut rng, site_a, leaf, |page_off, line| {
+                self.emit_copy_loop(em, &mut rng, site_a, leaf, |page_off, line| {
                     let page = (first_page + page_off) % self.hot_pages;
                     hot_base + page * PAGE_SIZE + line * self.line_bytes
                 });
@@ -119,7 +117,7 @@ impl WorkloadGen for ContextCopy {
                 em.push(TraceRecord::cond_branch(main_fn.pc(5), main_fn.pc(6), true));
                 em.push(TraceRecord::call(main_fn.pc(6), site_b.entry()));
                 let first_page = stream_cursor;
-                self.emit_copy_loop(&mut em, &mut rng, site_b, leaf, |page_off, line| {
+                self.emit_copy_loop(em, &mut rng, site_b, leaf, |page_off, line| {
                     let page = (first_page + page_off) % self.stream_pages;
                     stream_base + page * PAGE_SIZE + line * self.line_bytes
                 });
@@ -159,7 +157,6 @@ impl WorkloadGen for ContextCopy {
             }
             let _ = lines_per_page;
         }
-        em.finish_packed()
     }
 }
 

@@ -8,7 +8,6 @@
 //! mixes families where PC signatures do and do not work.
 
 use super::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen};
-use crate::packed::PackedTrace;
 use crate::record::TraceRecord;
 use crate::PAGE_SIZE;
 use rand::rngs::SmallRng;
@@ -48,7 +47,7 @@ impl WorkloadGen for CryptoStream {
         Category::Crypto
     }
 
-    fn generate_packed(&self, len: usize, seed: u64) -> PackedTrace {
+    fn emit_into(&self, em: &mut Emitter, seed: u64) {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0FFEE);
         let mut asp = AddressSpace::new();
         let kernel = CodeBlock::new(asp.code_region(1));
@@ -56,7 +55,6 @@ impl WorkloadGen for CryptoStream {
         let input_base = asp.data_region(self.input_pages);
         let output_base = asp.data_region(self.input_pages);
 
-        let mut em = Emitter::new(len);
         let mut cursor = 0u64;
         let blocks_per_page = PAGE_SIZE / self.block_bytes.max(1);
 
@@ -83,7 +81,6 @@ impl WorkloadGen for CryptoStream {
             // Outer block loop backedge.
             em.push(TraceRecord::cond_branch(kernel.pc(5), kernel.pc(0), true));
         }
-        em.finish_packed()
     }
 }
 

@@ -3,7 +3,6 @@
 //! batch and a few ALU instructions of index hashing per update.
 
 use super::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen, Zipf};
-use crate::packed::PackedTrace;
 use crate::record::TraceRecord;
 use crate::PAGE_SIZE;
 use rand::rngs::SmallRng;
@@ -40,7 +39,7 @@ impl WorkloadGen for Gups {
         Category::BigData
     }
 
-    fn generate_packed(&self, len: usize, seed: u64) -> PackedTrace {
+    fn emit_into(&self, em: &mut Emitter, seed: u64) {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x6057);
         let mut asp = AddressSpace::new();
         let kernel = CodeBlock::new(asp.code_region(1));
@@ -48,7 +47,6 @@ impl WorkloadGen for Gups {
         let param_base = asp.data_region(self.param_pages);
 
         let zipf = Zipf::new(self.table_pages.max(1) as usize, self.zipf_s);
-        let mut em = Emitter::new(len);
         'outer: loop {
             // Refresh batch parameters (hot pages).
             for p in 0..self.param_pages.min(2) {
@@ -72,7 +70,6 @@ impl WorkloadGen for Gups {
             }
             em.push(TraceRecord::cond_branch(kernel.pc(6), kernel.pc(0), true));
         }
-        em.finish_packed()
     }
 }
 

@@ -17,7 +17,6 @@
 //! numbers predate it); available to examples, tests and custom suites.
 
 use super::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen, Zipf};
-use crate::packed::PackedTrace;
 use crate::record::TraceRecord;
 use crate::PAGE_SIZE;
 use rand::rngs::SmallRng;
@@ -66,7 +65,7 @@ impl WorkloadGen for Interpreter {
         Category::Mixed
     }
 
-    fn generate_packed(&self, len: usize, seed: u64) -> PackedTrace {
+    fn emit_into(&self, em: &mut Emitter, seed: u64) {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x1234_5678);
         let mut asp = AddressSpace::new();
         let dispatch = CodeBlock::new(asp.code_region(1));
@@ -78,7 +77,6 @@ impl WorkloadGen for Interpreter {
         let heap_base = asp.data_region(self.heap_pages);
 
         let heap_zipf = Zipf::new(self.heap_pages.max(1) as usize, self.heap_zipf);
-        let mut em = Emitter::new(len);
         let mut nursery_cursor = 0u64;
         let mut stack_depth = 0u64;
         // Direct threading: the dispatch jump executes at the *previous*
@@ -158,7 +156,6 @@ impl WorkloadGen for Interpreter {
             // next dispatch (emitted at the top of the next iteration).
             em.push(TraceRecord::alu(handler.pc(3)));
         }
-        em.finish_packed()
     }
 }
 

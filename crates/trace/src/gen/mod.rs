@@ -102,12 +102,26 @@ pub trait WorkloadGen {
     /// The workload category this generator belongs to.
     fn category(&self) -> Category;
 
+    /// Emits records into `em` until [`Emitter::is_full`] reports true,
+    /// using `seed` for all random choices. Must be deterministic in
+    /// `(self, em.limit, seed)` — the emitter decides where the records
+    /// go (an in-memory buffer or a bounded streaming channel), the
+    /// generator only decides *what* they are. This is the one method a
+    /// generator implements; both the materialized and the streaming
+    /// trace paths are derived from it, which is what makes the two
+    /// bit-identical by construction.
+    fn emit_into(&self, em: &mut Emitter, seed: u64);
+
     /// Generates exactly `len` trace records in packed struct-of-arrays
-    /// form using `seed` for all random choices. Must be deterministic in
-    /// `(self, len, seed)`. This is the primary entry point: generators
-    /// emit through an [`Emitter`], which packs as it goes, so the flat
-    /// 40-byte-per-record vector never exists unless a caller asks for it.
-    fn generate_packed(&self, len: usize, seed: u64) -> PackedTrace;
+    /// form using `seed` for all random choices. Materializes the whole
+    /// trace; for bounded-memory production use
+    /// [`crate::stream::GenStream`], which drives the same
+    /// [`WorkloadGen::emit_into`] through a chunked channel.
+    fn generate_packed(&self, len: usize, seed: u64) -> PackedTrace {
+        let mut em = Emitter::new(len);
+        self.emit_into(&mut em, seed);
+        em.finish_packed()
+    }
 
     /// Generates exactly `len` trace records as a flat vector. Convenience
     /// wrapper over [`WorkloadGen::generate_packed`] for callers that want
@@ -117,54 +131,144 @@ pub trait WorkloadGen {
     }
 }
 
+/// Where an [`Emitter`] puts accepted records: a single in-memory builder
+/// (the materialized path) or a bounded channel of chunk-sized batches
+/// (the streaming path).
+#[derive(Debug)]
+enum EmitterSink {
+    /// Everything accumulates into one builder.
+    Buffer(PackedTraceBuilder),
+    /// Full chunks are sent through `tx`; only the chunk under
+    /// construction stays resident.
+    Channel {
+        builder: PackedTraceBuilder,
+        chunk: usize,
+        tx: std::sync::mpsc::SyncSender<PackedTrace>,
+        /// Set when the receiver hung up; reads as full so the generator
+        /// terminates promptly instead of emitting into the void.
+        aborted: bool,
+    },
+}
+
 /// Accumulates trace records up to a limit, packing them as they arrive.
 ///
 /// Generators emit whole loop iterations and check [`Emitter::is_full`]
 /// between them; records pushed past the limit are discarded, so the
 /// finished trace holds exactly the requested length (the moral equivalent
 /// of the old truncate-at-the-end, without buffering the overshoot).
+///
+/// An emitter built by [`Emitter::new`] buffers everything (the
+/// materialized path). The streaming path (`crate::stream::GenStream`)
+/// constructs one over a bounded channel instead; the acceptance logic —
+/// which records are kept, in which order — is shared, so the chunk
+/// concatenation is bit-identical to the buffered trace.
 #[derive(Debug)]
 pub struct Emitter {
-    builder: PackedTraceBuilder,
+    sink: EmitterSink,
+    /// Records accepted so far (across all flushed chunks).
+    emitted: usize,
     limit: usize,
 }
 
 impl Emitter {
     /// Creates an emitter that stops accepting records once `limit` is hit.
     pub fn new(limit: usize) -> Self {
-        Emitter { builder: PackedTraceBuilder::with_capacity(limit), limit }
+        Emitter {
+            sink: EmitterSink::Buffer(PackedTraceBuilder::with_capacity(limit)),
+            emitted: 0,
+            limit,
+        }
     }
 
-    /// True once at least `limit` records have been emitted.
+    /// Creates an emitter that flushes every `chunk` accepted records as
+    /// one [`PackedTrace`] batch through `tx`, holding at most one
+    /// chunk-in-progress resident. Used by `crate::stream::GenStream`.
+    pub(crate) fn streaming(
+        limit: usize,
+        chunk: usize,
+        tx: std::sync::mpsc::SyncSender<PackedTrace>,
+    ) -> Self {
+        let chunk = chunk.max(1);
+        Emitter {
+            sink: EmitterSink::Channel {
+                builder: PackedTraceBuilder::with_capacity(chunk.min(limit)),
+                chunk,
+                tx,
+                aborted: false,
+            },
+            emitted: 0,
+            limit,
+        }
+    }
+
+    /// True once at least `limit` records have been emitted (or the
+    /// streaming receiver went away — nothing more can be delivered).
     #[inline]
     pub fn is_full(&self) -> bool {
-        self.builder.len() >= self.limit
+        self.emitted >= self.limit
+            || matches!(self.sink, EmitterSink::Channel { aborted: true, .. })
     }
 
     /// Number of records emitted so far.
     #[inline]
     pub fn len(&self) -> usize {
-        self.builder.len()
+        self.emitted
     }
 
     /// True if nothing has been emitted yet.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.builder.is_empty()
+        self.emitted == 0
     }
 
     /// Appends one record; a no-op once the limit is reached.
     #[inline]
     pub fn push(&mut self, rec: TraceRecord) {
-        if self.builder.len() < self.limit {
-            self.builder.push(rec);
+        if self.emitted >= self.limit {
+            return;
+        }
+        match &mut self.sink {
+            EmitterSink::Buffer(builder) => {
+                self.emitted += 1;
+                builder.push(rec);
+            }
+            EmitterSink::Channel { builder, chunk, tx, aborted } => {
+                if *aborted {
+                    return;
+                }
+                self.emitted += 1;
+                builder.push(rec);
+                if builder.len() >= *chunk {
+                    let next_cap = (*chunk).min(self.limit - self.emitted);
+                    let full =
+                        std::mem::replace(builder, PackedTraceBuilder::with_capacity(next_cap));
+                    if tx.send(full.finish()).is_err() {
+                        *aborted = true;
+                    }
+                }
+            }
         }
     }
 
     /// The finished packed trace, exactly `limit` records (or fewer if the
-    /// generator stopped early).
+    /// generator stopped early). Only meaningful for buffered emitters.
     pub fn finish_packed(self) -> PackedTrace {
-        self.builder.finish()
+        match self.sink {
+            EmitterSink::Buffer(builder) => builder.finish(),
+            EmitterSink::Channel { .. } => {
+                unreachable!("finish_packed on a streaming emitter — use finish_stream")
+            }
+        }
+    }
+
+    /// Flushes the trailing partial chunk of a streaming emitter and
+    /// closes the channel (by dropping the sender).
+    pub(crate) fn finish_stream(self) {
+        if let EmitterSink::Channel { builder, tx, aborted, .. } = self.sink {
+            if !aborted && !builder.is_empty() {
+                let _ = tx.send(builder.finish());
+            }
+        }
     }
 
     /// The finished trace as a flat vector.

@@ -8,7 +8,6 @@
 //! provides the high-MPKI right-hand side of the paper's Figure 7 S-curve.
 
 use super::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen, Zipf};
-use crate::packed::PackedTrace;
 use crate::record::TraceRecord;
 use crate::PAGE_SIZE;
 use rand::rngs::SmallRng;
@@ -61,7 +60,7 @@ impl WorkloadGen for PointerChase {
         Category::BigData
     }
 
-    fn generate_packed(&self, len: usize, seed: u64) -> PackedTrace {
+    fn emit_into(&self, em: &mut Emitter, seed: u64) {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xB16_DA7A);
         let mut asp = AddressSpace::new();
         let walker = CodeBlock::new(asp.code_region(1));
@@ -72,7 +71,6 @@ impl WorkloadGen for PointerChase {
         let clusters = (self.pool_pages / self.cluster_pages.max(1)).max(1);
         let zipf = Zipf::new(clusters as usize, self.zipf_s);
         let mut cluster = zipf.sample(&mut rng) as u64;
-        let mut em = Emitter::new(len);
 
         'outer: loop {
             // Restart: touch a few root pages (hot metadata).
@@ -107,7 +105,6 @@ impl WorkloadGen for PointerChase {
                 }
             }
         }
-        em.finish_packed()
     }
 }
 

@@ -7,7 +7,6 @@
 //! context separates live from dead pages.
 
 use super::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen, Zipf};
-use crate::packed::PackedTrace;
 use crate::record::TraceRecord;
 use crate::PAGE_SIZE;
 use rand::rngs::SmallRng;
@@ -63,7 +62,7 @@ impl WorkloadGen for ScanIndex {
         Category::Database
     }
 
-    fn generate_packed(&self, len: usize, seed: u64) -> PackedTrace {
+    fn emit_into(&self, em: &mut Emitter, seed: u64) {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xD15EA5E);
         let mut asp = AddressSpace::new();
         let scan_fn = CodeBlock::new(asp.code_region(1));
@@ -74,7 +73,6 @@ impl WorkloadGen for ScanIndex {
         let index_base = asp.data_region(self.index_pages);
 
         let zipf = Zipf::new(self.index_pages.max(1) as usize, self.zipf_s);
-        let mut em = Emitter::new(len);
         let mut scan_cursor = 0u64;
         let mut prev_burst_start: Option<u64> = None;
 
@@ -90,7 +88,7 @@ impl WorkloadGen for ScanIndex {
                         + u64::from(row) * (PAGE_SIZE / u64::from(self.rows_per_page.max(1)));
                     em.push(TraceRecord::alu(scan_fn.pc(0)));
                     em.push(TraceRecord::call(scan_fn.pc(1), fetch_fn.entry()));
-                    emit_fetch(&mut em, fetch_fn, addr, scan_fn.pc(2));
+                    emit_fetch(em, fetch_fn, addr, scan_fn.pc(2));
                     let last = row + 1 == self.rows_per_page;
                     em.push(TraceRecord::cond_branch(scan_fn.pc(3), scan_fn.pc(0), !last));
                 }
@@ -106,7 +104,7 @@ impl WorkloadGen for ScanIndex {
                         let addr = table_addr(table_base, page, 1);
                         em.push(TraceRecord::alu(project_fn.pc(0)));
                         em.push(TraceRecord::call(project_fn.pc(1), fetch_fn.entry()));
-                        emit_fetch(&mut em, fetch_fn, addr, project_fn.pc(2));
+                        emit_fetch(em, fetch_fn, addr, project_fn.pc(2));
                         em.push(TraceRecord::cond_branch(
                             project_fn.pc(3),
                             project_fn.pc(0),
@@ -129,7 +127,7 @@ impl WorkloadGen for ScanIndex {
                     let addr = table_addr(index_base, page, rng.gen_range(0..64));
                     em.push(TraceRecord::alu(lookup_fn.pc(0)));
                     em.push(TraceRecord::call(lookup_fn.pc(1), fetch_fn.entry()));
-                    emit_fetch(&mut em, fetch_fn, addr, lookup_fn.pc(2));
+                    emit_fetch(em, fetch_fn, addr, lookup_fn.pc(2));
                     let last = level + 1 == u64::from(self.levels);
                     em.push(TraceRecord::cond_branch(lookup_fn.pc(3), lookup_fn.pc(0), !last));
                 }
@@ -138,7 +136,6 @@ impl WorkloadGen for ScanIndex {
                 }
             }
         }
-        em.finish_packed()
     }
 }
 

@@ -8,7 +8,6 @@
 //! live tiles from the streamed sweep.
 
 use super::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen};
-use crate::packed::PackedTrace;
 use crate::record::TraceRecord;
 use crate::PAGE_SIZE;
 use serde::{Deserialize, Serialize};
@@ -41,7 +40,7 @@ impl WorkloadGen for TiledStencil {
         Category::Scientific
     }
 
-    fn generate_packed(&self, len: usize, _seed: u64) -> PackedTrace {
+    fn emit_into(&self, em: &mut Emitter, _seed: u64) {
         let mut asp = AddressSpace::new();
         let outer_fn = CodeBlock::new(asp.code_region(1));
         let dot_fn = CodeBlock::new(asp.code_region(1));
@@ -51,7 +50,6 @@ impl WorkloadGen for TiledStencil {
         let c_base = asp.data_region(tile_arena_pages);
         let b_base = asp.data_region(self.sweep_pages);
 
-        let mut em = Emitter::new(len);
         let mut tile_idx = 0u64;
         let mut step = 0u32;
 
@@ -88,7 +86,6 @@ impl WorkloadGen for TiledStencil {
                 tile_idx += 1;
             }
         }
-        em.finish_packed()
     }
 }
 

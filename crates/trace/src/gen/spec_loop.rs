@@ -8,7 +8,6 @@
 //! S-curve in Figure 7).
 
 use super::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen};
-use crate::packed::PackedTrace;
 use crate::record::TraceRecord;
 use crate::PAGE_SIZE;
 use serde::{Deserialize, Serialize};
@@ -48,14 +47,13 @@ impl WorkloadGen for SpecLoops {
         Category::Spec
     }
 
-    fn generate_packed(&self, len: usize, _seed: u64) -> PackedTrace {
+    fn emit_into(&self, em: &mut Emitter, _seed: u64) {
         let mut asp = AddressSpace::new();
         let kernel = CodeBlock::new(asp.code_region(1));
         let scalar_base = asp.data_region(1);
         let bases: Vec<u64> =
             (0..self.arrays).map(|_| asp.data_region(self.pages_per_array)).collect();
 
-        let mut em = Emitter::new(len);
         let steps_per_page = PAGE_SIZE / self.stride_bytes.max(1);
         let mut elem = 0u64;
 
@@ -87,7 +85,6 @@ impl WorkloadGen for SpecLoops {
                 }
             }
         }
-        em.finish_packed()
     }
 }
 

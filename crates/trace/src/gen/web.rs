@@ -8,7 +8,6 @@
 //! behaviour the paper's introduction motivates.
 
 use super::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen, Zipf};
-use crate::packed::PackedTrace;
 use crate::record::TraceRecord;
 use crate::PAGE_SIZE;
 use rand::rngs::SmallRng;
@@ -56,7 +55,7 @@ impl WorkloadGen for WebServe {
         Category::Web
     }
 
-    fn generate_packed(&self, len: usize, seed: u64) -> PackedTrace {
+    fn emit_into(&self, em: &mut Emitter, seed: u64) {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x3EB);
         let mut asp = AddressSpace::new();
         let dispatcher = CodeBlock::new(asp.code_region(1));
@@ -67,7 +66,6 @@ impl WorkloadGen for WebServe {
         let session_base = asp.data_region(self.session_pages);
 
         let zipf = Zipf::new(self.handlers as usize, self.zipf_s);
-        let mut em = Emitter::new(len);
         let mut h = zipf.sample(&mut rng);
 
         while !em.is_full() {
@@ -110,7 +108,6 @@ impl WorkloadGen for WebServe {
             ));
             em.push(TraceRecord::cond_branch(dispatcher.pc(3), dispatcher.pc(0), true));
         }
-        em.finish_packed()
     }
 }
 

@@ -30,10 +30,12 @@ pub mod gen;
 pub mod packed;
 pub mod record;
 pub mod stats;
+pub mod stream;
 pub mod suite;
 
 pub use codec::{
-    peek_record_count, read_trace, read_trace_packed, write_trace, write_trace_packed, CodecError,
+    peek_record_count, read_trace, read_trace_packed, write_trace, write_trace_packed,
+    ChunkedDecodeError, ChunkedDecoder, CodecError,
 };
 pub use gen::Category;
 pub use packed::{
@@ -42,6 +44,9 @@ pub use packed::{
 };
 pub use record::{BranchClass, InstrKind, TraceRecord};
 pub use stats::TraceStats;
+pub use stream::{
+    collect_stream, GenStream, MaterializedStream, StreamError, TraceStream, STREAM_PIPELINE_CHUNKS,
+};
 pub use suite::{workload_family, BenchmarkSpec, SuiteConfig, GEN_CODE_VERSION, ZIPFIAN_FAMILIES};
 
 /// Number of bytes covered by one page (the paper studies the standard 4 KB

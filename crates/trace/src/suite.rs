@@ -94,6 +94,17 @@ impl BenchmarkSpec {
     pub fn generate_packed(&self, len: usize) -> crate::packed::PackedTrace {
         self.spec.as_gen().generate_packed(len, self.seed)
     }
+
+    /// Streams the benchmark's trace in `chunk`-record batches from a
+    /// producer thread, never materialising the whole trace — the
+    /// production-run path for long traces. The batch concatenation is
+    /// bit-identical to [`generate_packed`](Self::generate_packed) for
+    /// the same `len`.
+    pub fn stream(&self, len: usize, chunk: usize) -> crate::stream::GenStream {
+        let spec = self.spec.clone();
+        let seed = self.seed;
+        crate::stream::GenStream::spawn(len, chunk, move |em| spec.as_gen().emit_into(em, seed))
+    }
 }
 
 /// Suite construction parameters.
@@ -498,6 +509,17 @@ mod tests {
         // Degenerate names fall back to exact match.
         assert_eq!(workload_family("plain"), "plain");
         assert_eq!(workload_family("a.b"), "a.b");
+    }
+
+    #[test]
+    fn streamed_benchmark_matches_generate_packed() {
+        let suite = build_suite(&SuiteConfig { benchmarks: 9 });
+        for b in &suite {
+            let want = b.generate_packed(4_000);
+            let mut stream = b.stream(4_000, 700);
+            let got = crate::stream::collect_stream(&mut stream).unwrap();
+            assert_eq!(got.to_records(), want.to_records(), "{}", b.name);
+        }
     }
 
     #[test]

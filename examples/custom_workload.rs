@@ -9,7 +9,7 @@
 
 use chirp_repro::sim::{PolicyKind, SimConfig, Simulator};
 use chirp_repro::trace::gen::{AddressSpace, Category, CodeBlock, Emitter, WorkloadGen};
-use chirp_repro::trace::{PackedTrace, TraceRecord, PAGE_SIZE};
+use chirp_repro::trace::{TraceRecord, PAGE_SIZE};
 
 /// A minimal log-structured-store workload.
 struct LogStore {
@@ -26,12 +26,11 @@ impl WorkloadGen for LogStore {
         Category::Mixed
     }
 
-    fn generate_packed(&self, len: usize, _seed: u64) -> PackedTrace {
+    fn emit_into(&self, em: &mut Emitter, _seed: u64) {
         let mut asp = AddressSpace::new();
         let append_fn = CodeBlock::new(asp.code_region(1));
         let compact_fn = CodeBlock::new(asp.code_region(1));
         let log_base = asp.data_region(self.log_pages);
-        let mut em = Emitter::new(len);
         let mut head = 0u64;
         while !em.is_full() {
             // Append one segment: write each page once.
@@ -55,7 +54,6 @@ impl WorkloadGen for LogStore {
             }
             head += self.segment_pages;
         }
-        em.finish_packed()
     }
 }
 

@@ -89,6 +89,16 @@ regressions="$(cargo run --release -q -p chirp-query --bin chirp-query -- \
     --store "$query_store" --raw "regress mpki")"
 test "$regressions" = "0"
 
+echo "==> chirp-dash smoke (dashboard from the checked-in trajectory)"
+cargo run --release -q -p chirp-query --bin chirp-dash -- \
+    --trajectory BENCH_runner.json --store "$query_store" \
+    --out "$smoke_dir/dashboard.html"
+grep -q 'id="chirp-data"' "$smoke_dir/dashboard.html"
+# Trajectory panels and the ledger-backed MPKI panel both made it into
+# the embedded payload.
+grep -q 'instr_per_sec_1t' "$smoke_dir/dashboard.html"
+grep -q 'mpki_by_policy' "$smoke_dir/dashboard.html"
+
 echo "==> chirp-serve smoke (submit, archived re-run, graceful shutdown)"
 cargo build --release -q -p chirp-serve -p chirp-bench
 serve_log="$smoke_dir/serve.log"
