@@ -1,16 +1,21 @@
 //! Single-thread simulation throughput: the monomorphized columnar hot
 //! loop (`Simulator::with_policy` over `PolicyDispatch` +
-//! `run_columnar`) and the multi-lane software-pipelined engine
-//! (`run_columnar_lanes`) at lane widths 2/4/8, per policy and over the
-//! whole (benchmark × policy) matrix, in instructions per second.
+//! `run_columnar`), the multi-lane software-pipelined engine
+//! (`run_columnar_lanes`) at lane widths 2/4/8, and the factored engine
+//! (one shared front-end pass + 9 replay back-ends per benchmark,
+//! `run_factored_group`), per policy and over the whole (benchmark ×
+//! policy) matrix, in instructions per second.
 //!
 //! Besides the Criterion lines, appends one JSON object to
 //! `BENCH_runner.json` at the workspace root (override with
 //! `CHIRP_BENCH_OUT`) carrying `instr_per_sec_1t` — the lanes=1
-//! sequential baseline — plus `instr_per_sec_1t_lanes{2,4,8}` and the
-//! derived `best_lanes`/`lane_speedup`. `scripts/bench.sh` compares the
-//! best-lane number against the previous line and warns on >10%
-//! regressions.
+//! sequential baseline — plus `instr_per_sec_1t_lanes{2,4,8}`, the
+//! derived `best_lanes`/`lane_speedup`, and the factored trio
+//! `instr_per_sec_1t_factored` / `frontend_events_per_instr` /
+//! `factored_speedup` (factored over sequential at lineup width 9).
+//! `scripts/bench.sh` compares the best-lane and factored numbers
+//! against the previous line and warns on >10% regressions, and checks
+//! the `factored_speedup >= 3.0` acceptance floor.
 //!
 //! Each headline number is the best of `CHIRP_BENCH_REPS` sweeps
 //! (default 3) and the line records the reps used. Best-of-N is the
@@ -87,6 +92,56 @@ fn matrix_instr_per_sec(
     best
 }
 
+/// Instructions per second over the whole matrix through the factored
+/// engine: per benchmark, ONE front-end pass over the trace and one tiny
+/// replay back-end per policy (`run_factored_group` at lineup width 9).
+/// Best of `reps` sweeps, like [`matrix_instr_per_sec`]. The instruction
+/// denominator is the same matrix total, so the ratio to the sequential
+/// baseline is the lineup-level speedup of sharing the front end.
+fn matrix_instr_per_sec_factored(
+    suite: &[(BenchmarkSpec, PackedTrace)],
+    policies: &[PolicyKind],
+    config: &SimConfig,
+    reps: usize,
+) -> f64 {
+    let total: u64 = (suite.len() * policies.len()) as u64 * INSTRUCTIONS as u64;
+    let sig_config = chirp_sim::group_sig_config(policies.iter());
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for (bench, trace) in suite {
+            let built: Vec<chirp_sim::PolicyDispatch> =
+                policies.iter().map(|p| p.build_dispatch(config.tlb.l2, bench.seed)).collect();
+            chirp_sim::run_factored_group(
+                config,
+                trace,
+                config.warmup_fraction,
+                &sig_config,
+                built,
+            );
+        }
+        best = best.max(total as f64 / t0.elapsed().as_secs_f64().max(1e-9));
+    }
+    best
+}
+
+/// Compactness of the front-end event stream: L2-TLB access + control
+/// events emitted per instruction, averaged over the suite. This is the
+/// number that makes the factored speedup legible — each back-end
+/// replays only this fraction of the work.
+fn frontend_events_per_instr(suite: &[(BenchmarkSpec, PackedTrace)], config: &SimConfig) -> f64 {
+    let sig_config = chirp_core::ChirpConfig::default();
+    let mut events = 0usize;
+    let mut instructions = 0u64;
+    for (_, trace) in suite {
+        let stream =
+            chirp_sim::FactoredTrace::build(config, trace, config.warmup_fraction, &sig_config);
+        events += stream.access_events() + stream.control_events();
+        instructions += stream.instructions();
+    }
+    events as f64 / (instructions as f64).max(1.0)
+}
+
 fn bench_sim_throughput(c: &mut Criterion) {
     let config = SimConfig::default();
     let policies = lineup9();
@@ -141,6 +196,29 @@ fn bench_sim_throughput(c: &mut Criterion) {
             );
         });
     }
+    // The whole 9-policy lineup as one factored group on the same trace:
+    // throughput is per trace pass, so compare against 9× a columnar line.
+    let sig_config = chirp_sim::group_sig_config(policies.iter());
+    group.bench_function("factored9/lineup", |b| {
+        b.iter_batched(
+            || {
+                policies
+                    .iter()
+                    .map(|p| p.build_dispatch(config.tlb.l2, bench0.seed))
+                    .collect::<Vec<_>>()
+            },
+            |built| {
+                chirp_sim::run_factored_group(
+                    &config,
+                    trace0,
+                    config.warmup_fraction,
+                    &sig_config,
+                    built,
+                )
+            },
+            BatchSize::LargeInput,
+        );
+    });
     group.finish();
 
     // Headline numbers for the trajectory file: whole-matrix throughput
@@ -155,6 +233,9 @@ fn bench_sim_throughput(c: &mut Criterion) {
     let (best_idx, best) =
         sweep.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("non-empty sweep");
     let lane_speedup = best / sweep[0].max(1e-9);
+    let factored = matrix_instr_per_sec_factored(&suite, &policies, &config, reps);
+    let factored_speedup = factored / sweep[0].max(1e-9);
+    let events_per_instr = frontend_events_per_instr(&suite, &config);
     for (&lanes, ips) in LANES.iter().zip(&sweep) {
         println!("sim_throughput: lanes={lanes} {ips:.0} instr/s");
     }
@@ -163,16 +244,30 @@ fn bench_sim_throughput(c: &mut Criterion) {
          best of {reps} reps)",
         LANES[best_idx]
     );
-    write_trajectory(&sweep, LANES[best_idx], lane_speedup, reps);
+    println!(
+        "sim_throughput: factored {factored:.0} instr/s ({factored_speedup:.2}x over sequential \
+         at lineup width 9, {events_per_instr:.3} front-end events/instr, best of {reps} reps)"
+    );
+    write_trajectory(&sweep, LANES[best_idx], lane_speedup, reps, factored, events_per_instr);
 }
 
-fn write_trajectory(sweep: &[f64], best_lanes: usize, lane_speedup: f64, reps: usize) {
+fn write_trajectory(
+    sweep: &[f64],
+    best_lanes: usize,
+    lane_speedup: f64,
+    reps: usize,
+    factored: f64,
+    events_per_instr: f64,
+) {
+    let factored_speedup = factored / sweep[0].max(1e-9);
     let line = format!(
         "{{\"bench\":\"sim_throughput\",\"benchmarks\":{BENCHMARKS},\"policies\":9,\
          \"instructions\":{INSTRUCTIONS},\"reps\":{reps},\"instr_per_sec_1t\":{:.0},\
          \"instr_per_sec_1t_lanes2\":{:.0},\"instr_per_sec_1t_lanes4\":{:.0},\
          \"instr_per_sec_1t_lanes8\":{:.0},\"best_lanes\":{best_lanes},\
-         \"lane_speedup\":{lane_speedup:.3}}}",
+         \"lane_speedup\":{lane_speedup:.3},\"instr_per_sec_1t_factored\":{factored:.0},\
+         \"frontend_events_per_instr\":{events_per_instr:.4},\
+         \"factored_speedup\":{factored_speedup:.3}}}",
         sweep[0], sweep[1], sweep[2], sweep[3]
     );
     let path = std::env::var_os("CHIRP_BENCH_OUT").map(PathBuf::from).unwrap_or_else(|| {

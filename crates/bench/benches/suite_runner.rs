@@ -28,6 +28,9 @@ use std::time::Instant;
 const BENCHMARKS: usize = 4;
 const INSTRUCTIONS: usize = 60_000;
 const THREADS_HIGH: usize = 8;
+/// Criterion samples per variant; the trajectory line records this as
+/// `reps` so every line in BENCH_runner.json carries its sample count.
+const SAMPLES: usize = 3;
 
 fn config(threads: usize) -> RunnerConfig {
     RunnerConfig { instructions: INSTRUCTIONS, threads, ..Default::default() }
@@ -80,7 +83,7 @@ fn bench_suite_runner(c: &mut Criterion) {
     let flat_bytes_per_trace = (INSTRUCTIONS * std::mem::size_of::<TraceRecord>()) as u64;
     let mut measured: Vec<Measured> = Vec::new();
     let mut group = c.benchmark_group("suite_runner");
-    group.sample_size(3);
+    group.sample_size(SAMPLES);
 
     for (name, threads, variant) in [
         ("baseline_benchwise_1t", 1, Variant::Benchwise),
@@ -157,7 +160,7 @@ fn write_trajectory(measured: &[Measured]) {
         .collect();
     let line = format!(
         "{{\"bench\":\"suite_runner\",\"benchmarks\":{BENCHMARKS},\"policies\":9,\
-         \"instructions\":{INSTRUCTIONS},\"cpus\":{cpus},\
+         \"instructions\":{INSTRUCTIONS},\"reps\":{SAMPLES},\"cpus\":{cpus},\
          \"thread_scaling_expected\":{scaling_expected},{},\
          \"speedup_8t\":{speedup_8t:.3},\"peak_mem_ratio_8t\":{mem_ratio:.4},\
          \"telemetry_overhead_8t\":{telemetry_overhead_8t:.3}}}",

@@ -109,6 +109,32 @@ impl ChirpConfig {
     pub fn table_bytes(&self) -> u64 {
         (self.table_entries as u64 * u64::from(self.counter_bits)).div_ceil(8)
     }
+
+    /// Identity code of every field that shapes signature *values*: two
+    /// configurations produce identical signature streams for identical
+    /// access/branch/mispredict sequences iff their codes match. Table
+    /// geometry, counter width and thresholds are deliberately excluded —
+    /// they consume signatures but do not alter them. A factored front
+    /// end stamps its event stream with this code; a `Chirp` back-end
+    /// only accepts precomputed signatures when the stream's code equals
+    /// its own (`TlbReplacementPolicy::replay_hints`).
+    pub fn signature_code(&self) -> u64 {
+        let mut code = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for field in [
+            u64::from(self.path_length),
+            u64::from(self.inject_zeros),
+            u64::from(self.use_path),
+            u64::from(self.use_cond),
+            u64::from(self.use_uncond),
+            u64::from(self.use_pc),
+            u64::from(self.branch_length),
+            u64::from(self.wrong_path_pollution),
+        ] {
+            code ^= field;
+            code = code.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        code
+    }
 }
 
 #[cfg(test)]

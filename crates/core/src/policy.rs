@@ -20,7 +20,7 @@ use crate::config::ChirpConfig;
 use crate::signature::{table_index, SignatureBuilder};
 use crate::table::PredictionTable;
 use chirp_mem::PackedLru;
-use chirp_tlb::{PolicyStorage, TlbAccess, TlbGeometry, TlbReplacementPolicy};
+use chirp_tlb::{PolicyStorage, ReplayHints, TlbAccess, TlbGeometry, TlbReplacementPolicy};
 use chirp_trace::BranchClass;
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -51,6 +51,11 @@ pub struct Chirp {
     lru: PackedLru,
     last_set: Option<usize>,
     counters: ChirpCounters,
+    /// Signature handed in by a factored front end for the next access
+    /// ([`TlbReplacementPolicy::supply_signature`]); `None` outside
+    /// replay, in which case `on_hit`/`on_fill` compute it from the
+    /// policy's own history registers as always.
+    pending_sig: Option<u16>,
 }
 
 impl std::fmt::Debug for Chirp {
@@ -79,6 +84,7 @@ impl Chirp {
             lru: PackedLru::new(geometry.sets(), geometry.ways),
             last_set: None,
             counters: ChirpCounters::default(),
+            pending_sig: None,
             config,
             geometry,
         }
@@ -140,7 +146,11 @@ impl TlbReplacementPolicy for Chirp {
     }
 
     fn on_hit(&mut self, acc: &TlbAccess, way: usize) {
-        let new_sig = self.signatures.signature(acc.pc);
+        let external = self.pending_sig.is_some();
+        let new_sig = match self.pending_sig.take() {
+            Some(sig) => sig,
+            None => self.signatures.signature(acc.pc),
+        };
         let i = self.idx(acc.set, way);
         let qualifies = !self.config.selective_hit_update || self.last_set != Some(acc.set);
         let wants_update = self.meta[i].first_hit_pending || !self.config.first_hit_only;
@@ -163,17 +173,25 @@ impl TlbReplacementPolicy for Chirp {
         self.meta[i].signature = new_sig;
         self.lru.touch(acc.set, way);
         self.last_set = Some(acc.set);
-        self.signatures.record_access(acc.pc);
+        if !external {
+            self.signatures.record_access(acc.pc);
+        }
     }
 
     fn on_fill(&mut self, acc: &TlbAccess, way: usize) {
-        let sig = self.signatures.signature(acc.pc);
+        let external = self.pending_sig.is_some();
+        let sig = match self.pending_sig.take() {
+            Some(sig) => sig,
+            None => self.signatures.signature(acc.pc),
+        };
         let dead = self.predict_dead(sig);
         let i = self.idx(acc.set, way);
         self.meta[i] = EntryMeta { signature: sig, dead, first_hit_pending: true };
         self.lru.touch(acc.set, way);
         self.last_set = Some(acc.set);
-        self.signatures.record_access(acc.pc);
+        if !external {
+            self.signatures.record_access(acc.pc);
+        }
     }
 
     fn on_branch(&mut self, pc: u64, class: BranchClass, _taken: bool) {
@@ -209,6 +227,29 @@ impl TlbReplacementPolicy for Chirp {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    /// When the stream's signature configuration matches this policy's
+    /// exactly ([`ChirpConfig::signature_code`]), the precomputed
+    /// signatures *are* what this policy's own registers would produce,
+    /// so replay can skip every control event: branches and wrong-path
+    /// pollution only matter through the signatures, which the front end
+    /// already folded in. Any mismatch falls back to running the local
+    /// registers, which need the full control stream.
+    fn replay_hints(&self, sig_code: u64) -> ReplayHints {
+        if sig_code == self.config.signature_code() {
+            ReplayHints {
+                needs_branches: false,
+                needs_mispredicts: false,
+                accepts_signatures: true,
+            }
+        } else {
+            ReplayHints::conservative()
+        }
+    }
+
+    fn supply_signature(&mut self, sig: u16) {
+        self.pending_sig = Some(sig);
     }
 
     fn storage(&self) -> PolicyStorage {

@@ -39,6 +39,17 @@ impl SignatureBuilder {
     /// Composes the 16-bit signature for an access at `pc`
     /// (`sign ← pc ≫ 2 ⊕ pathHist ⊕ condBrHist ⊕ unCondBrHist`).
     pub fn signature(&self, pc: u64) -> u16 {
+        hash16(self.compose(pc))
+    }
+
+    /// The 64-bit pre-hash composition for an access at `pc` — everything
+    /// of [`signature`](Self::signature) except the final [`hash16`].
+    /// Front ends that batch-hash signatures across a decode burst
+    /// collect these (the history folds are sequential, each depending on
+    /// the previous access) and run the multiply/shift/xor finalisation
+    /// over the whole burst at once.
+    #[inline]
+    pub fn compose(&self, pc: u64) -> u64 {
         let mut sig = 0u64;
         if self.use_pc {
             sig ^= pc >> 2;
@@ -52,7 +63,7 @@ impl SignatureBuilder {
         if self.use_uncond {
             sig ^= self.uncond.folded();
         }
-        hash16(sig)
+        sig
     }
 
     /// Records an L2 TLB access in the path history (Algorithm 5 line 22).

@@ -35,7 +35,7 @@ use std::process::ExitCode;
 /// `chirp-query --json` output the panel plots. Trajectory panels read
 /// the `bench` table; the MPKI panel reads `runs` and only renders when
 /// a store is attached.
-const TRAJECTORY_PANELS: [(&str, &str, &str); 5] = [
+const TRAJECTORY_PANELS: [(&str, &str, &str); 6] = [
     (
         "sim_throughput",
         "Simulator throughput (instr/s, sequential baseline)",
@@ -45,6 +45,11 @@ const TRAJECTORY_PANELS: [(&str, &str, &str); 5] = [
         "sim_throughput_best",
         "Simulator throughput (instr/s, best over lane sweep)",
         "show best(instr_per_sec_1t,instr_per_sec_1t_dyn,instr_per_sec_1t_lanes2,instr_per_sec_1t_lanes4,instr_per_sec_1t_lanes8) from bench where bench=sim_throughput",
+    ),
+    (
+        "sim_throughput_factored",
+        "Factored lineup throughput (instr/s, 1 front end + 9 back-ends)",
+        "show instr_per_sec_1t_factored from bench where bench=sim_throughput",
     ),
     (
         "serve_req_per_sec",

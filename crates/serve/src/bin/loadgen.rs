@@ -108,6 +108,9 @@ fn main() {
             .set_u64("requests", load.requests as u64)
             .set_u64("benchmarks", load.benchmarks as u64)
             .set_u64("instructions", load.instructions as u64)
+            // One closed-loop pass per invocation; recorded so every
+            // trajectory line carries its repetition count.
+            .set_u64("reps", 1)
             .set_u64("ok", report.ok)
             .set_u64("busy", report.busy)
             .set_u64("dropped", report.dropped)

@@ -21,9 +21,9 @@
 use crate::wire::{
     self, err, read_request, write_response, Request, Response, VerdictReply, WireError,
 };
-use chirp_sim::sched::{run_units, WorkItem};
+use chirp_sim::sched::{run_unit_groups, WorkItem};
 use chirp_sim::store_cache::{record_from_run, run_from_record, run_key};
-use chirp_sim::{BenchRun, PolicyKind, SimConfig, Simulator};
+use chirp_sim::{run_policy_group, BenchRun, PolicyKind, SimConfig};
 use chirp_store::archive::ArchiveOutcome;
 use chirp_store::{fnv64, hex16, EncodedTrace, Store, StoreError, TraceArchive};
 use chirp_telemetry::{Gauge, Registry};
@@ -719,11 +719,16 @@ fn run_policies(
         let est = trace.resident_bytes();
         let slot = Mutex::new(Some(trace));
         let work = [WorkItem { bench: 0, policies: missing.clone() }];
-        let outcome = run_units(
+        // The whole missing lineup forms one group: one shared front-end
+        // pass over the trace, one tiny replay back-end per policy
+        // (`run_policy_group`; single-policy groups take the plain
+        // columnar loop). Bit-identical to per-policy `run_columnar`.
+        let outcome = run_unit_groups(
             &work,
             shared.config.threads,
             est,
             None,
+            missing.len().max(1),
             |_item| {
                 Ok(slot
                     .lock()
@@ -731,14 +736,17 @@ fn run_policies(
                     .take()
                     .expect("single work item fetches once"))
             },
-            |_, pos, trace| {
-                let policy = &spec.policies[work[0].policies[pos]];
-                let mut sim = Simulator::with_policy(
-                    sim_config,
-                    policy.build_dispatch(sim_config.tlb.l2, spec.seed),
-                );
-                let result = sim.run_columnar(trace, sim_config.warmup_fraction);
-                BenchRun { benchmark: spec.name.clone(), category: spec.category, result }
+            |_, positions, trace| {
+                let kinds: Vec<&PolicyKind> =
+                    positions.iter().map(|&pos| &spec.policies[work[0].policies[pos]]).collect();
+                run_policy_group(sim_config, &kinds, spec.seed, trace, true)
+                    .into_iter()
+                    .map(|result| BenchRun {
+                        benchmark: spec.name.clone(),
+                        category: spec.category,
+                        result,
+                    })
+                    .collect::<Vec<_>>()
             },
         );
         let (mut results, _) = match outcome {

@@ -23,6 +23,7 @@ pub mod baseline;
 pub mod config;
 pub mod engine;
 pub mod experiments;
+pub mod frontend;
 pub mod lanes;
 pub mod metrics;
 pub mod registry;
@@ -34,12 +35,16 @@ pub mod telemetry;
 
 pub use config::SimConfig;
 pub use engine::{run_stream_units, Simulator};
+pub use frontend::{
+    group_sig_config, replay_factored, run_factored_group, run_stream_factored, Backend,
+    EventSegment, FactoredTrace, FrontEnd,
+};
 pub use lanes::{run_columnar_lanes, run_columnar_lanes_outcomes, LaneUnit};
 pub use metrics::RunResult;
 pub use registry::{PolicyDispatch, PolicyKind};
 pub use runner::{
-    run_suite, run_suite_cached, run_suite_streamed, BenchRun, CacheStats, RunnerConfig,
-    DEFAULT_STREAM_CHUNK,
+    run_policy_group, run_suite, run_suite_cached, run_suite_streamed, BenchRun, CacheStats,
+    RunnerConfig, DEFAULT_STREAM_CHUNK,
 };
 pub use sched::{last_scheduler_summary, SchedulerSummary};
 pub use telemetry::{

@@ -6,7 +6,7 @@ use chirp_tlb::policies::{
     Drrip, Ghrp, GhrpConfig, Lru, PerceptronConfig, PerceptronReuse, RandomPolicy, ShipConfig,
     ShipTlb, Srrip,
 };
-use chirp_tlb::{PolicyStorage, TlbAccess, TlbGeometry, TlbReplacementPolicy};
+use chirp_tlb::{PolicyStorage, ReplayHints, TlbAccess, TlbGeometry, TlbReplacementPolicy};
 use chirp_trace::BranchClass;
 use serde::{Deserialize, Serialize};
 
@@ -240,6 +240,15 @@ impl TlbReplacementPolicy for PolicyDispatch {
 
     fn storage(&self) -> PolicyStorage {
         dispatch!(self, p => p.storage())
+    }
+
+    fn replay_hints(&self, sig_code: u64) -> ReplayHints {
+        dispatch!(self, p => p.replay_hints(sig_code))
+    }
+
+    #[inline]
+    fn supply_signature(&mut self, sig: u16) {
+        dispatch!(self, p => p.supply_signature(sig))
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {

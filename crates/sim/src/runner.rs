@@ -17,9 +17,10 @@
 
 use crate::config::SimConfig;
 use crate::engine::{run_stream_units, Simulator};
+use crate::frontend::{group_sig_config, run_factored_group, run_stream_factored};
 use crate::lanes::{run_columnar_lanes, LaneUnit};
 use crate::metrics::RunResult;
-use crate::registry::PolicyKind;
+use crate::registry::{PolicyDispatch, PolicyKind};
 use crate::sched::{run_streamed, run_unit_groups, WorkItem};
 use crate::store_cache::{record_from_run, run_from_record, run_key};
 use chirp_store::archive::ArchiveOutcome;
@@ -67,6 +68,19 @@ pub struct RunnerConfig {
     /// sees it.
     #[serde(default)]
     pub stream_chunk: usize,
+    /// Run multi-policy groups through the factored engine: one shared
+    /// front-end pass over the trace emits the policy-invariant L2-TLB
+    /// event stream, and each policy replays only its L2 + walker over it
+    /// ([`crate::run_factored_group`]). Single-policy groups always take
+    /// the plain columnar loop (there is nothing to share). Like `lanes`,
+    /// purely an execution-strategy knob — results are bit-identical
+    /// either way (pinned by `tests/equivalence_matrix.rs`), so it is
+    /// excluded from ledger run keys. `RunnerConfig::default()` enables
+    /// it; CLI construction goes through that default, so lineup-width
+    /// groups dispatch through the shared front end unless explicitly
+    /// disabled.
+    #[serde(default)]
+    pub factored: bool,
 }
 
 /// Records per streamed batch when [`RunnerConfig::stream_chunk`] is 0:
@@ -84,6 +98,7 @@ impl Default for RunnerConfig {
             mem_budget: None,
             lanes: 1,
             stream_chunk: 0,
+            factored: true,
         }
     }
 }
@@ -108,6 +123,17 @@ impl RunnerConfig {
     /// miscomputed width) degrades to sequential execution.
     pub fn lane_width(&self) -> usize {
         self.lanes.max(1)
+    }
+
+    /// Group width handed to the scheduler: factored execution wants the
+    /// whole lineup in one group (one shared front end + N back-ends), so
+    /// it widens the configured lane width to the policy count.
+    pub(crate) fn group_width(&self, policies: usize) -> usize {
+        if self.factored {
+            self.lane_width().max(policies)
+        } else {
+            self.lane_width()
+        }
     }
 
     /// Records per streamed batch actually used: `stream_chunk` with 0
@@ -178,7 +204,7 @@ fn run_suite_direct(
         config.worker_threads(),
         config.trace_estimate(),
         config.mem_budget,
-        config.lane_width(),
+        config.group_width(policies.len()),
         |item| Ok(suite[item.bench].generate_packed(config.instructions)),
         |w, positions, trace| simulate_group(suite, policies, config, &work[w], positions, trace),
     )
@@ -187,13 +213,15 @@ fn run_suite_direct(
 }
 
 /// Builds and runs a group of same-benchmark (benchmark × policy)
-/// simulations over a shared packed trace, software-pipelined through the
-/// multi-lane interleaved loop ([`crate::run_columnar_lanes`]) at the
-/// group's width. A single-unit group degenerates to the sequential
-/// columnar loop. Each unit's result is bit-identical to the legacy
-/// `Simulator::new` + `run` path — pinned by the lane and shim matrices
-/// in `tests/equivalence_matrix.rs` and by
-/// `scheduler_reproduces_benchwise_baseline_exactly` below.
+/// simulations over a shared packed trace. A multi-unit group with
+/// `factored` set dispatches through the shared front end
+/// ([`run_factored_group`]); otherwise the group runs software-pipelined
+/// through the multi-lane interleaved loop
+/// ([`crate::run_columnar_lanes`]) at its width, a single-unit group
+/// degenerating to the sequential columnar loop. Each unit's result is
+/// bit-identical to the legacy `Simulator::new` + `run` path — pinned by
+/// the lane, shim and factored matrices in `tests/equivalence_matrix.rs`
+/// and by `scheduler_reproduces_benchwise_baseline_exactly` below.
 fn simulate_group(
     suite: &[BenchmarkSpec],
     policies: &[PolicyKind],
@@ -203,22 +231,47 @@ fn simulate_group(
     trace: &PackedTrace,
 ) -> Vec<BenchRun> {
     let bench = &suite[item.bench];
-    let units: Vec<_> = positions
-        .iter()
-        .map(|&pos| {
-            let policy = &policies[item.policies[pos]];
-            let sim = Simulator::with_policy(
-                &config.sim,
-                policy.build_dispatch(config.sim.tlb.l2, bench.seed),
-            );
-            LaneUnit::new(sim, trace, config.sim.warmup_fraction)
-        })
-        .collect();
-    let lanes = units.len();
-    run_columnar_lanes(units, lanes)
+    let kinds: Vec<&PolicyKind> =
+        positions.iter().map(|&pos| &policies[item.policies[pos]]).collect();
+    run_policy_group(&config.sim, &kinds, bench.seed, trace, config.factored)
         .into_iter()
         .map(|result| BenchRun { benchmark: bench.name.clone(), category: bench.category, result })
         .collect()
+}
+
+/// Runs one same-trace group of policies, the primitive `simulate_group`
+/// and `chirp-serve` share. With `factored` set and more than one policy,
+/// the group runs as one front-end pass + per-policy replay back-ends
+/// ([`run_factored_group`]) — the signature stream is computed under the
+/// group's first CHiRP configuration ([`group_sig_config`]). Otherwise
+/// (or for a group of one, which has nothing to share) the policies run
+/// through the lane-interleaved columnar loop at the group's width.
+/// Results are bit-identical either way, in input order.
+pub fn run_policy_group(
+    sim: &SimConfig,
+    kinds: &[&PolicyKind],
+    seed: u64,
+    trace: &PackedTrace,
+    factored: bool,
+) -> Vec<RunResult> {
+    let build = |kind: &PolicyKind| -> PolicyDispatch { kind.build_dispatch(sim.tlb.l2, seed) };
+    if factored && kinds.len() > 1 {
+        let sig_config = group_sig_config(kinds.iter().copied());
+        let policies: Vec<PolicyDispatch> = kinds.iter().map(|k| build(k)).collect();
+        run_factored_group(sim, trace, sim.warmup_fraction, &sig_config, policies)
+            .into_iter()
+            .map(|(result, _)| result)
+            .collect()
+    } else {
+        let units: Vec<_> = kinds
+            .iter()
+            .map(|k| {
+                LaneUnit::new(Simulator::with_policy(sim, build(k)), trace, sim.warmup_fraction)
+            })
+            .collect();
+        let lanes = units.len();
+        run_columnar_lanes(units, lanes)
+    }
 }
 
 /// What `run_suite_cached` did to satisfy a request.
@@ -289,7 +342,7 @@ pub fn run_suite_cached(
             config.worker_threads(),
             config.trace_estimate(),
             config.mem_budget,
-            config.lane_width(),
+            config.group_width(policies.len()),
             |item| fetch_archived(&archive, &suite[item.bench], config.instructions),
             |w, positions, trace| {
                 simulate_group(suite, policies, config, &work[w], positions, trace)
@@ -434,16 +487,31 @@ fn stream_one_item(
 ) -> Result<Vec<BenchRun>, StoreError> {
     let bench = &suite[item.bench];
     let chunk = config.stream_chunk_records();
-    let build_sims = || -> Vec<Simulator<crate::PolicyDispatch>> {
-        item.policies
-            .iter()
-            .map(|&pi| {
-                Simulator::with_policy(
-                    &config.sim,
-                    policies[pi].build_dispatch(config.sim.tlb.l2, bench.seed),
-                )
-            })
-            .collect()
+    // One pass over the stream for all of the item's policies: factored
+    // (shared front end + replay back-ends) when the group is wide enough
+    // and enabled, else the legacy lockstep simulators. Bit-identical
+    // either way (`tests/equivalence_matrix.rs`).
+    let run_item = |stream: &mut dyn chirp_trace::TraceStream| -> Result<Vec<RunResult>, chirp_trace::StreamError> {
+        if config.factored && item.policies.len() > 1 {
+            let kinds: Vec<&PolicyKind> = item.policies.iter().map(|&pi| &policies[pi]).collect();
+            let sig_config = group_sig_config(kinds.iter().copied());
+            let built: Vec<PolicyDispatch> =
+                kinds.iter().map(|k| k.build_dispatch(config.sim.tlb.l2, bench.seed)).collect();
+            run_stream_factored(&config.sim, &sig_config, built, stream, config.sim.warmup_fraction)
+                .map(|outcomes| outcomes.into_iter().map(|(result, _)| result).collect())
+        } else {
+            let mut sims: Vec<Simulator<PolicyDispatch>> = item
+                .policies
+                .iter()
+                .map(|&pi| {
+                    Simulator::with_policy(
+                        &config.sim,
+                        policies[pi].build_dispatch(config.sim.tlb.l2, bench.seed),
+                    )
+                })
+                .collect();
+            run_stream_units(&mut sims, stream, config.sim.warmup_fraction)
+        }
     };
     let wrap = |results: Vec<RunResult>| -> Vec<BenchRun> {
         results
@@ -463,10 +531,8 @@ fn stream_one_item(
     };
     let had_entry = probe.is_some();
     if let Some((path, meta)) = probe {
-        let attempt = ArchiveTraceStream::open(&path, meta, chunk).and_then(|mut stream| {
-            let mut sims = build_sims();
-            run_stream_units(&mut sims, &mut stream, config.sim.warmup_fraction)
-        });
+        let attempt = ArchiveTraceStream::open(&path, meta, chunk)
+            .and_then(|mut stream| run_item(&mut stream));
         if let Ok(results) = attempt {
             counters.lock().trace_hits += 1;
             return Ok(wrap(results));
@@ -482,8 +548,7 @@ fn stream_one_item(
     }
     drop(counts);
     let mut stream = bench.stream(config.instructions, chunk);
-    let mut sims = build_sims();
-    let results = run_stream_units(&mut sims, &mut stream, config.sim.warmup_fraction)
+    let results = run_item(&mut stream)
         .map_err(|e| StoreError::Corrupt(format!("generator stream failed: {e}")))?;
     Ok(wrap(results))
 }

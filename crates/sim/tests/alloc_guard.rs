@@ -124,3 +124,40 @@ fn lane_engine_does_not_allocate_per_instruction() {
          vs {long} over 40k"
     );
 }
+
+/// Allocation count of replaying a prebuilt front-end event stream
+/// through all 9 policy back-ends (`chirp_sim::replay_factored`). The
+/// stream and the trace are built outside the measured window; backend
+/// construction, the per-segment control cursors and the policy-name
+/// `String`s in the results are per-run constants appearing in both
+/// counts.
+fn allocs_for_factored_replay(config: &SimConfig, instructions: usize) -> u64 {
+    let suite = build_suite(&SuiteConfig { benchmarks: 1 });
+    let trace = suite[0].generate_packed(instructions);
+    let policies = lineup9();
+    let sig_config = chirp_sim::group_sig_config(policies.iter());
+    let stream =
+        chirp_sim::FactoredTrace::build(config, &trace, config.warmup_fraction, &sig_config);
+    let built: Vec<_> = policies.iter().map(|p| p.build_dispatch(config.tlb.l2, 7)).collect();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let outcomes = chirp_sim::replay_factored(config, &stream, built);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(outcomes.len(), 9);
+    after - before
+}
+
+/// The factored back-end replay must do zero per-instruction (and
+/// per-event) allocations: a 10× longer event stream may not add a
+/// single allocation over the short one.
+#[test]
+fn factored_replay_does_not_allocate_per_instruction() {
+    let _counter = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let config = SimConfig::default();
+    let short = allocs_for_factored_replay(&config, 4_000);
+    let long = allocs_for_factored_replay(&config, 40_000);
+    assert_eq!(
+        long, short,
+        "factored replay allocates per instruction: {short} allocations over 4k instructions \
+         vs {long} over 40k"
+    );
+}

@@ -1,6 +1,6 @@
 //! The tentpole equivalence gates for the fast execution paths.
 //!
-//! Two layers, both pinning bit-identical `RunResult`s (which embed the
+//! Three layers, all pinning bit-identical `RunResult`s (which embed the
 //! measured `TlbStats`), L2 totals and CHiRP's internal counters:
 //!
 //! 1. **Lane matrix** (always on): the multi-lane software-pipelined
@@ -9,7 +9,15 @@
 //!    on suite benchmarks, across lane widths (including widths that do
 //!    not divide the unit count) and warmup fractions that cut
 //!    mid-chunk.
-//! 2. **Legacy shim** (behind the `legacy-dyn` feature): the retired
+//! 2. **Factored matrix** (always on): the shared front-end +
+//!    per-policy replay back-ends ([`chirp_sim::run_factored_group`],
+//!    materialized and streamed) must reproduce the sequential
+//!    `run_columnar` of every unit, across warmup cuts, chunk sizes,
+//!    signature-config mismatches and wrong-path-pollution
+//!    configurations — plus the policy-invariance gate: the front-end
+//!    event stream is byte-identical no matter which policy (if any)
+//!    consumes it.
+//! 3. **Legacy shim** (behind the `legacy-dyn` feature): the retired
 //!    dynamic-dispatch path (`Simulator::new` over
 //!    `Box<dyn TlbReplacementPolicy>` + per-record `run`) must agree
 //!    with the monomorphized columnar path — run via
@@ -302,6 +310,248 @@ proptest! {
             got, want,
             "policy={} len={} chunk={} warmup={}", policy.name(), len, chunk, warmup
         );
+    }
+}
+
+/// One factored group: shared front end + per-policy replay back-ends
+/// over a materialized trace, each unit's outcome (result, L2 totals,
+/// CHiRP counters) in input order.
+fn factored_group_path(
+    policies: &[PolicyKind],
+    config: &SimConfig,
+    trace: &PackedTrace,
+    seed: u64,
+) -> Vec<PathOutcome> {
+    let sig_config = chirp_sim::group_sig_config(policies.iter());
+    let built: Vec<chirp_sim::PolicyDispatch> =
+        policies.iter().map(|p| p.build_dispatch(config.tlb.l2, seed)).collect();
+    chirp_sim::run_factored_group(config, trace, config.warmup_fraction, &sig_config, built)
+        .into_iter()
+        .map(|(result, backend)| backend_outcome(result, &backend))
+        .collect()
+}
+
+fn backend_outcome(
+    result: RunResult,
+    backend: &chirp_sim::Backend<chirp_sim::PolicyDispatch>,
+) -> PathOutcome {
+    let stats_total = backend.l2().stats();
+    let chirp = backend
+        .l2()
+        .policy()
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Chirp>())
+        .map(|c| c.counters());
+    PathOutcome { result, stats_total, chirp }
+}
+
+/// The factored gate: the whole 9-policy lineup as one group (one front
+/// end, nine back-ends) on every suite benchmark, at warmup extremes and
+/// a mid-chunk cut, must be bit-identical per unit to its sequential
+/// `run_columnar` — run totals, L2 stats and CHiRP internal counters.
+#[test]
+fn factored_engine_matches_sequential_for_every_policy_and_benchmark() {
+    let suite = build_suite(&SuiteConfig { benchmarks: BENCHMARKS });
+    let policies = lineup9();
+
+    for bench in &suite {
+        let trace = bench.generate_packed(INSTRUCTIONS);
+        for warmup in [0.0, 0.1337, 0.5, 1.0] {
+            let config = SimConfig { warmup_fraction: warmup, ..SimConfig::default() };
+            let got = factored_group_path(&policies, &config, &trace, bench.seed);
+            for (policy, outcome) in policies.iter().zip(got) {
+                let want = columnar_path(policy, &config, &trace, bench.seed);
+                assert_eq!(
+                    outcome,
+                    want,
+                    "factored diverged: {} on {} at warmup {warmup}",
+                    policy.name(),
+                    bench.name
+                );
+                if matches!(policy, PolicyKind::Chirp(_)) {
+                    assert!(outcome.chirp.is_some(), "CHiRP counters must be reachable");
+                }
+            }
+        }
+    }
+}
+
+/// Signature-config corner cases: a group whose stream is computed under
+/// a wrong-path-pollution configuration (front end must fold the pseudo
+/// wrong-path events), containing a second CHiRP whose signature code
+/// does NOT match (must fall back to its local registers) plus policies
+/// needing branches and needing nothing.
+#[test]
+fn factored_engine_handles_pollution_and_mismatched_signature_configs() {
+    let suite = build_suite(&SuiteConfig { benchmarks: 2 });
+    let config = SimConfig::default();
+    let polluted = ChirpConfig { wrong_path_pollution: 3, ..ChirpConfig::default() };
+    let groups: Vec<Vec<PolicyKind>> = vec![
+        // Polluted CHiRP first: the stream carries polluted signatures;
+        // the default-config CHiRP must reject them and self-compute.
+        vec![
+            PolicyKind::Chirp(polluted),
+            PolicyKind::Chirp(ChirpConfig::default()),
+            PolicyKind::Ghrp,
+            PolicyKind::Lru,
+        ],
+        // No CHiRP at all: stream signatures are computed under the
+        // default config and nobody consumes them.
+        vec![PolicyKind::Ghrp, PolicyKind::PerceptronReuse, PolicyKind::Srrip],
+        // Only the short-history CHiRP: its own config drives the stream.
+        vec![
+            PolicyKind::Chirp(ChirpConfig { path_length: 8, ..ChirpConfig::default() }),
+            PolicyKind::Random,
+        ],
+    ];
+    for bench in &suite {
+        let trace = bench.generate_packed(INSTRUCTIONS);
+        for group in &groups {
+            let got = factored_group_path(group, &config, &trace, bench.seed);
+            for (policy, outcome) in group.iter().zip(got) {
+                let want = columnar_path(policy, &config, &trace, bench.seed);
+                assert_eq!(
+                    outcome,
+                    want,
+                    "factored diverged: {} on {} in group {:?}",
+                    policy.name(),
+                    bench.name,
+                    group.iter().map(PolicyKind::name).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+}
+
+/// An empty trace and a single-policy group must pass through the
+/// factored engine without panicking or diverging.
+#[test]
+fn factored_engine_handles_empty_and_degenerate_groups() {
+    let config = SimConfig::default();
+    let empty = PackedTrace::from_records(&[]);
+    let got = factored_group_path(&lineup9(), &config, &empty, 0);
+    for outcome in &got {
+        assert_eq!(outcome.result.instructions, 0, "empty trace must measure zero instructions");
+    }
+    let suite = build_suite(&SuiteConfig { benchmarks: 1 });
+    let bench = &suite[0];
+    let trace = bench.generate_packed(10_000);
+    let solo = [PolicyKind::Chirp(ChirpConfig::default())];
+    let got = factored_group_path(&solo, &config, &trace, bench.seed);
+    assert_eq!(got[0], columnar_path(&solo[0], &config, &trace, bench.seed));
+}
+
+/// The streamed factored gate: the lineup through
+/// [`chirp_sim::run_stream_factored`] over generator streams must equal
+/// each policy's sequential columnar run of the materialized trace, at
+/// chunk sizes that do not divide the trace, the chunk boundary itself
+/// and a single-batch stream.
+#[test]
+fn factored_stream_matches_materialized_for_every_policy() {
+    let suite = build_suite(&SuiteConfig { benchmarks: 2 });
+    let config = SimConfig::default();
+    let policies = lineup9();
+
+    for bench in &suite {
+        let trace = bench.generate_packed(INSTRUCTIONS);
+        let wants: Vec<PathOutcome> =
+            policies.iter().map(|p| columnar_path(p, &config, &trace, bench.seed)).collect();
+        for chunk in [977, 4_096, INSTRUCTIONS + 1] {
+            let sig_config = chirp_sim::group_sig_config(policies.iter());
+            let built: Vec<chirp_sim::PolicyDispatch> =
+                policies.iter().map(|p| p.build_dispatch(config.tlb.l2, bench.seed)).collect();
+            let mut stream = bench.stream(INSTRUCTIONS, chunk);
+            let got = chirp_sim::run_stream_factored(
+                &config,
+                &sig_config,
+                built,
+                &mut stream,
+                config.warmup_fraction,
+            )
+            .expect("generator stream");
+            for ((policy, want), (result, backend)) in policies.iter().zip(&wants).zip(got) {
+                let outcome = backend_outcome(result, &backend);
+                assert_eq!(
+                    &outcome,
+                    want,
+                    "factored stream diverged: {} on {} at chunk {chunk}",
+                    policy.name(),
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random warmup fractions (cutting mid-chunk and mid-burst) and
+    /// random trace lengths straddling the 4096-record chunk size: the
+    /// factored group stays bit-identical per unit to its sequential run.
+    #[test]
+    fn factored_engine_matches_sequential_under_random_warmup_cuts(
+        warmup_pm in 0u32..1001,
+        len in 1usize..9_000,
+    ) {
+        let warmup = f64::from(warmup_pm) / 1000.0;
+        let suite = build_suite(&SuiteConfig { benchmarks: 1 });
+        let bench = &suite[0];
+        let config = SimConfig { warmup_fraction: warmup, ..SimConfig::default() };
+        let policies = lineup9();
+        let trace = bench.generate_packed(len);
+        let got = factored_group_path(&policies, &config, &trace, bench.seed);
+        for (policy, outcome) in policies.iter().zip(got) {
+            let want = columnar_path(policy, &config, &trace, bench.seed);
+            prop_assert_eq!(
+                &outcome, &want,
+                "policy={} len={} warmup={}", policy.name(), len, warmup
+            );
+        }
+    }
+
+    /// The policy-invariance gate (the cut line's defining property): the
+    /// front-end event stream serializes to the same bytes no matter
+    /// which policy — or none at all — later consumes it, and rebuilding
+    /// it is deterministic. Streams under different signature configs
+    /// agree on everything except the signature values: same event
+    /// counts, same instructions.
+    #[test]
+    fn frontend_event_stream_is_byte_identical_regardless_of_policy(
+        warmup_pm in 0u32..1001,
+        len in 1usize..9_000,
+    ) {
+        let warmup = f64::from(warmup_pm) / 1000.0;
+        let suite = build_suite(&SuiteConfig { benchmarks: 1 });
+        let bench = &suite[0];
+        let config = SimConfig::default();
+        let sig_config = ChirpConfig::default();
+        let trace = bench.generate_packed(len);
+
+        let stream = chirp_sim::FactoredTrace::build(&config, &trace, warmup, &sig_config);
+        let bytes = stream.wire_bytes();
+
+        // Replay through every policy in the lineup (and through nobody),
+        // rebuilding the stream after each: the bytes never change.
+        for policy in &lineup9() {
+            let built = vec![policy.build_dispatch(config.tlb.l2, bench.seed)];
+            let _ = chirp_sim::replay_factored(&config, &stream, built);
+            let rebuilt = chirp_sim::FactoredTrace::build(&config, &trace, warmup, &sig_config);
+            prop_assert_eq!(
+                rebuilt.wire_bytes(), bytes.clone(),
+                "front-end stream depends on {} being attached", policy.name()
+            );
+        }
+        let unconsumed = chirp_sim::FactoredTrace::build(&config, &trace, warmup, &sig_config);
+        prop_assert_eq!(unconsumed.wire_bytes(), bytes.clone());
+
+        // A different signature config changes signature values only:
+        // the invariant skeleton (event counts, instructions) is fixed.
+        let other = ChirpConfig { path_length: 8, use_cond: false, ..ChirpConfig::default() };
+        let reconfigured = chirp_sim::FactoredTrace::build(&config, &trace, warmup, &other);
+        prop_assert_eq!(reconfigured.access_events(), stream.access_events());
+        prop_assert_eq!(reconfigured.control_events(), stream.control_events());
+        prop_assert_eq!(reconfigured.instructions(), stream.instructions());
     }
 }
 

@@ -173,6 +173,44 @@ impl L1Tlb {
     }
 }
 
+/// The policy-free half of the hierarchy: just the L1 i/d TLBs.
+///
+/// The L1s are private true-LRU structures with no replacement-policy
+/// hooks, so their hit/miss sequence is identical no matter which L2
+/// policy runs behind them. A factored front end (see `chirp-sim`)
+/// drives this pair once per trace to discover which accesses reach the
+/// L2, then replays only those against each policy back-end. Built from
+/// the same [`TlbHierarchyConfig`] as [`TlbHierarchy`], it produces the
+/// exact same L1 filter the full hierarchy would.
+#[derive(Debug, Clone)]
+pub struct L1FrontEnd {
+    l1i: L1Tlb,
+    l1d: L1Tlb,
+}
+
+impl L1FrontEnd {
+    /// Builds the L1 pair from the hierarchy configuration.
+    pub fn new(config: &TlbHierarchyConfig) -> Self {
+        L1FrontEnd { l1i: L1Tlb::new(config.l1i), l1d: L1Tlb::new(config.l1d) }
+    }
+
+    /// Looks up `vpn` in the L1 of the given kind, filling (true LRU) on
+    /// a miss. Returns whether it hit — a miss is exactly an access that
+    /// reaches the unified L2 in the full hierarchy.
+    #[inline]
+    pub fn hit(&mut self, vpn: u64, kind: TranslationKind) -> bool {
+        match kind {
+            TranslationKind::Instruction => self.l1i.access(vpn),
+            TranslationKind::Data => self.l1d.access(vpn),
+        }
+    }
+
+    /// L1 statistics: (i-TLB hits, i-TLB misses, d-TLB hits, d-TLB misses).
+    pub fn l1_stats(&self) -> (u64, u64, u64, u64) {
+        (self.l1i.hits, self.l1i.misses, self.l1d.hits, self.l1d.misses)
+    }
+}
+
 /// L1 i/d TLBs + unified L2 TLB + page walker.
 ///
 /// Generic over the L2 replacement policy (defaulting to the boxed trait

@@ -38,8 +38,8 @@ pub mod tlb;
 pub mod types;
 pub mod walker;
 
-pub use hierarchy::{TlbHierarchy, TlbHierarchyConfig, Translation};
-pub use policy::{PolicyStorage, TlbReplacementPolicy};
+pub use hierarchy::{L1FrontEnd, TlbHierarchy, TlbHierarchyConfig, Translation};
+pub use policy::{PolicyStorage, ReplayHints, TlbReplacementPolicy};
 pub use stats::{DeadOutcomes, TlbStats};
 pub use tlb::{AccessOutcome, L2Tlb};
 pub use types::{TlbAccess, TlbGeometry, TranslationKind};

@@ -120,6 +120,12 @@ impl TlbReplacementPolicy for Drrip {
         Some(self.rrpv[self.idx(set, way)] == RRPV_MAX)
     }
 
+    /// Keeps no branch history and consumes no signatures: replay can
+    /// drop every control event.
+    fn replay_hints(&self, _sig_code: u64) -> crate::policy::ReplayHints {
+        crate::policy::ReplayHints::none()
+    }
+
     fn storage(&self) -> PolicyStorage {
         PolicyStorage {
             metadata_bits: 2 * self.geometry.entries as u64,

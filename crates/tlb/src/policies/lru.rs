@@ -38,6 +38,12 @@ impl TlbReplacementPolicy for Lru {
         self.stacks.touch(acc.set, way);
     }
 
+    /// Keeps no branch history and consumes no signatures: replay can
+    /// drop every control event.
+    fn replay_hints(&self, _sig_code: u64) -> crate::policy::ReplayHints {
+        crate::policy::ReplayHints::none()
+    }
+
     fn storage(&self) -> PolicyStorage {
         // ceil(log2(ways!)) bits per set is the information-theoretic cost;
         // hardware uses ~3 bits per entry for 8 ways (paper Table I).

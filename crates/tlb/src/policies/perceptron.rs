@@ -194,6 +194,12 @@ impl TlbReplacementPolicy for PerceptronReuse {
         Some(self.meta[self.idx(set, way)].dead)
     }
 
+    /// Needs every retired branch for its history register, but models
+    /// no wrong-path pollution and consumes no precomputed signatures.
+    fn replay_hints(&self, _sig_code: u64) -> crate::policy::ReplayHints {
+        crate::policy::ReplayHints::branches_only()
+    }
+
     fn storage(&self) -> PolicyStorage {
         let lru_bits = (self.geometry.ways as f64).log2().ceil() as u64;
         PolicyStorage {

@@ -32,6 +32,12 @@ impl TlbReplacementPolicy for RandomPolicy {
 
     fn on_fill(&mut self, _acc: &TlbAccess, _way: usize) {}
 
+    /// Keeps no branch history and consumes no signatures: replay can
+    /// drop every control event.
+    fn replay_hints(&self, _sig_code: u64) -> crate::policy::ReplayHints {
+        crate::policy::ReplayHints::none()
+    }
+
     fn storage(&self) -> PolicyStorage {
         PolicyStorage::default()
     }

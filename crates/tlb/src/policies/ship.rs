@@ -162,6 +162,12 @@ impl TlbReplacementPolicy for ShipTlb {
         Some(self.meta[self.idx(set, way)].rrpv == RRPV_MAX)
     }
 
+    /// Keeps no branch history and consumes no signatures: replay can
+    /// drop every control event.
+    fn replay_hints(&self, _sig_code: u64) -> crate::policy::ReplayHints {
+        crate::policy::ReplayHints::none()
+    }
+
     fn storage(&self) -> PolicyStorage {
         let per_entry = u64::from(self.config.shct_bits) + 1 + 2; // sig + reused + rrpv
         PolicyStorage {

@@ -67,6 +67,12 @@ impl TlbReplacementPolicy for Srrip {
         Some(self.rrpv[self.idx(set, way)] == RRPV_MAX)
     }
 
+    /// Keeps no branch history and consumes no signatures: replay can
+    /// drop every control event.
+    fn replay_hints(&self, _sig_code: u64) -> crate::policy::ReplayHints {
+        crate::policy::ReplayHints::none()
+    }
+
     fn storage(&self) -> PolicyStorage {
         PolicyStorage {
             metadata_bits: u64::from(RRPV_BITS) * self.geometry.entries as u64,

@@ -33,6 +33,53 @@ impl PolicyStorage {
     }
 }
 
+/// What a policy needs from the event stream when a factored back-end
+/// replays pre-recorded L2 accesses instead of running inside the full
+/// simulator (see `chirp-sim`'s front-end/back-end split).
+///
+/// The hints are a pure replay-time *optimization*: a policy that
+/// declares `needs_branches: false` promises that skipping
+/// [`TlbReplacementPolicy::on_branch`] calls cannot change any of its
+/// observable behaviour (victim choices, counters, storage). The
+/// conservative default ([`ReplayHints::conservative`]) keeps every
+/// event, so policies that don't override
+/// [`TlbReplacementPolicy::replay_hints`] are always replayed faithfully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayHints {
+    /// Replay must forward retired-branch events
+    /// ([`TlbReplacementPolicy::on_branch`]).
+    pub needs_branches: bool,
+    /// Replay must forward misprediction events
+    /// ([`TlbReplacementPolicy::on_mispredict`]).
+    pub needs_mispredicts: bool,
+    /// The policy consumes the stream's precomputed per-access signature
+    /// via [`TlbReplacementPolicy::supply_signature`] instead of running
+    /// its own history registers. Only meaningful when the policy has
+    /// verified the stream's signature-configuration code matches its
+    /// own.
+    pub accepts_signatures: bool,
+}
+
+impl ReplayHints {
+    /// Safe for every policy: forward all control events, precompute
+    /// nothing.
+    pub const fn conservative() -> Self {
+        ReplayHints { needs_branches: true, needs_mispredicts: true, accepts_signatures: false }
+    }
+
+    /// For stateless-between-accesses policies (LRU, Random, RRIP
+    /// family): no control events, no signatures.
+    pub const fn none() -> Self {
+        ReplayHints { needs_branches: false, needs_mispredicts: false, accepts_signatures: false }
+    }
+
+    /// For branch-history policies without wrong-path modelling (GHRP,
+    /// perceptron reuse).
+    pub const fn branches_only() -> Self {
+        ReplayHints { needs_branches: true, needs_mispredicts: false, accepts_signatures: false }
+    }
+}
+
 /// Replacement policy for a set-associative TLB.
 ///
 /// Call protocol, per L2 TLB access:
@@ -106,6 +153,22 @@ pub trait TlbReplacementPolicy {
     /// Storage overhead breakdown (Table I / §VI-H).
     fn storage(&self) -> PolicyStorage;
 
+    /// Which event classes this policy needs when a factored back-end
+    /// replays a pre-recorded L2 access stream. `sig_code` identifies the
+    /// signature configuration the stream's precomputed signatures were
+    /// built with (see `ChirpConfig::signature_code` in `chirp-core`);
+    /// a policy may only claim `accepts_signatures` when that code
+    /// matches its own. The default is fully conservative, so policies
+    /// that ignore this hook are always replayed faithfully.
+    fn replay_hints(&self, _sig_code: u64) -> ReplayHints {
+        ReplayHints::conservative()
+    }
+
+    /// Hands the policy the stream's precomputed signature for the next
+    /// L2 access. Only called when [`Self::replay_hints`] returned
+    /// `accepts_signatures: true`; the default implementation drops it.
+    fn supply_signature(&mut self, _sig: u16) {}
+
     /// Downcast hook for diagnostics tooling; policies that expose internal
     /// state override this to return `self`.
     fn as_any(&self) -> Option<&dyn std::any::Any> {
@@ -161,6 +224,14 @@ impl<T: TlbReplacementPolicy + ?Sized> TlbReplacementPolicy for Box<T> {
 
     fn storage(&self) -> PolicyStorage {
         (**self).storage()
+    }
+
+    fn replay_hints(&self, sig_code: u64) -> ReplayHints {
+        (**self).replay_hints(sig_code)
+    }
+
+    fn supply_signature(&mut self, sig: u16) {
+        (**self).supply_signature(sig)
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {

@@ -141,7 +141,17 @@ impl<P: TlbReplacementPolicy> L2Tlb<P> {
     #[inline]
     pub fn access(&mut self, pc: u64, vpn: u64, kind: TranslationKind) -> AccessOutcome {
         let set = self.geometry.set_of(vpn);
-        let acc = TlbAccess { pc, vpn, kind, set };
+        self.access_at(TlbAccess { pc, vpn, kind, set })
+    }
+
+    /// [`access`](Self::access) with the set index already computed — the
+    /// entry point for factored back-end replay, where the front end
+    /// batch-hashed the set indices of a whole event block. `acc.set`
+    /// must equal `geometry.set_of(acc.vpn)`.
+    #[inline]
+    pub fn access_at(&mut self, acc: TlbAccess) -> AccessOutcome {
+        let TlbAccess { vpn, set, .. } = acc;
+        debug_assert_eq!(set, self.geometry.set_of(vpn));
         self.efficiency.tick();
         let ways = self.geometry.ways;
         let base = set * ways;
@@ -201,6 +211,13 @@ impl<P: TlbReplacementPolicy> L2Tlb<P> {
     #[inline]
     pub fn on_mispredict(&mut self, pc: u64) {
         self.policy.on_mispredict(pc);
+    }
+
+    /// Hands the policy a precomputed signature for the next access
+    /// (factored replay; see [`TlbReplacementPolicy::supply_signature`]).
+    #[inline]
+    pub fn supply_signature(&mut self, sig: u16) {
+        self.policy.supply_signature(sig);
     }
 
     /// Accumulated statistics. `dead_evictions` is sourced live from the

@@ -8,7 +8,13 @@
 #   2. sim_throughput — single-thread instructions/sec of the
 #      monomorphized columnar hot loop (instr_per_sec_1t, the lanes=1
 #      sequential baseline) plus the multi-lane engine sweep
-#      (instr_per_sec_1t_lanes{2,4,8}, best_lanes, lane_speedup).
+#      (instr_per_sec_1t_lanes{2,4,8}, best_lanes, lane_speedup) and the
+#      factored engine (instr_per_sec_1t_factored: one shared front-end
+#      pass + 9 replay back-ends per benchmark, with
+#      frontend_events_per_instr and factored_speedup). The
+#      factored_speedup >= 3.0 acceptance floor is checked after the
+#      regression guards (warning, exit non-zero under
+#      CHIRP_BENCH_STRICT=1).
 #   3. serve_loadgen — end-to-end request throughput of chirp-serve under
 #      concurrent submit sessions against a spawned in-process server
 #      (serve_req_per_sec / serve_p50_ms / serve_p99_ms).
@@ -66,6 +72,14 @@ extract_best_ips() {
     query_traj "last best(instr_per_sec_1t,instr_per_sec_1t_dyn,instr_per_sec_1t_lanes2,instr_per_sec_1t_lanes4,instr_per_sec_1t_lanes8) from bench where bench=sim_throughput"
 }
 
+extract_factored() {
+    query_traj "last instr_per_sec_1t_factored from bench where bench=sim_throughput"
+}
+
+extract_factored_speedup() {
+    query_traj "last factored_speedup from bench where bench=sim_throughput"
+}
+
 extract_serve() {
     query_traj "last serve_req_per_sec from bench where bench=serve_loadgen"
 }
@@ -78,10 +92,25 @@ legacy_ips() {
 }
 
 legacy_best_ips() {
+    # Lane-sweep fields only: the factored number is a different engine
+    # with its own guard, so it must stay out of this maximum (the query
+    # path above enumerates the same lane fields explicitly).
     [[ -f "$out" ]] || return 0
     grep '"bench":"sim_throughput"' "$out" | tail -n 1 |
-        grep -o '"instr_per_sec_1t[a-z0-9_]*":[0-9]*' |
+        grep -o '"instr_per_sec_1t\(_dyn\|_lanes[0-9]*\)\{0,1\}":[0-9]*' |
         sed 's/.*://' | sort -n | tail -n 1
+}
+
+legacy_factored() {
+    [[ -f "$out" ]] || return 0
+    grep '"bench":"sim_throughput"' "$out" | tail -n 1 |
+        sed -n 's/.*"instr_per_sec_1t_factored":\([0-9][0-9]*\).*/\1/p'
+}
+
+legacy_factored_speedup() {
+    [[ -f "$out" ]] || return 0
+    grep '"bench":"sim_throughput"' "$out" | tail -n 1 |
+        sed -n 's/.*"factored_speedup":\([0-9.][0-9.]*\).*/\1/p'
 }
 
 legacy_serve() {
@@ -118,6 +147,7 @@ guard() {
 
 prev_ips="$(extract_ips)"
 prev_best_ips="$(extract_best_ips)"
+prev_factored="$(extract_factored)"
 prev_serve="$(extract_serve)"
 
 cargo bench -p chirp-bench --bench suite_runner "$@"
@@ -135,13 +165,31 @@ fi
 
 new_ips="$(extract_ips)"
 new_best_ips="$(extract_best_ips)"
+new_factored="$(extract_factored)"
+new_factored_speedup="$(extract_factored_speedup)"
 new_serve="$(extract_serve)"
 assert_paths_agree instr_per_sec_1t "$new_ips" "$(legacy_ips)"
 assert_paths_agree instr_per_sec_1t_best_lanes "$new_best_ips" "$(legacy_best_ips)"
+assert_paths_agree instr_per_sec_1t_factored "$new_factored" "$(legacy_factored)"
+assert_paths_agree factored_speedup "$new_factored_speedup" "$(legacy_factored_speedup)"
 assert_paths_agree serve_req_per_sec "$new_serve" "$(legacy_serve)"
 guard instr_per_sec_1t "$prev_ips" "$new_ips"
 guard instr_per_sec_1t_best_lanes "$prev_best_ips" "$new_best_ips"
+guard instr_per_sec_1t_factored "$prev_factored" "$new_factored"
 guard serve_req_per_sec "$prev_serve" "$new_serve"
+
+# Acceptance floor: sharing one front end across the 9-policy lineup
+# must be worth at least 3x the sequential baseline.
+if [[ -n "$new_factored_speedup" ]]; then
+    if awk -v s="$new_factored_speedup" 'BEGIN { exit !(s < 3.0) }'; then
+        echo "WARNING: factored_speedup $new_factored_speedup below the 3.0 acceptance floor" >&2
+        if [[ "${CHIRP_BENCH_STRICT:-0}" == "1" ]]; then
+            exit 1
+        fi
+    else
+        echo "factored guard: factored_speedup $new_factored_speedup >= 3.0 floor"
+    fi
+fi
 
 echo "==> chirp-dash (render $out -> results/dashboard.html)"
 cargo run --release -q -p chirp-query --bin chirp-dash -- \

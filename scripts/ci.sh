@@ -26,12 +26,29 @@ cargo clippy --workspace --all-targets -- -D warnings -D clippy::perf
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
-echo "==> lane equivalence matrix (--release, plus the legacy-dyn shim)"
-# The lane engine's bit-identity gate reruns under the optimized profile:
-# the fast paths it pins (branchless probe, packed order word, lane
-# interleave) only take their real shape with optimizations on.
+echo "==> lane + factored equivalence matrix (--release, plus the legacy-dyn shim)"
+# The engines' bit-identity gates rerun under the optimized profile: the
+# fast paths they pin (branchless probe, packed order word, lane
+# interleave, SWAR burst signature/set hashing in the shared front end)
+# only take their real shape with optimizations on. The test file carries
+# the lane matrix AND the factored front-end/back-end matrix.
 cargo test --release -q -p chirp-sim --test equivalence_matrix
 cargo test --release -q -p chirp-sim --test equivalence_matrix --features legacy-dyn
+
+echo "==> factored-default gate (lineup groups must share one front end)"
+# Suite runs at lineup width > 1 must dispatch through the shared
+# front-end pass by default: the runner's group dispatcher routes
+# multi-policy groups to the factored engine, and RunnerConfig's Default
+# turns the knob on. If either grep fails, a refactor silently dropped
+# the default back to N full simulations per trace.
+grep -q 'factored && kinds.len() > 1' crates/sim/src/runner.rs || {
+    echo "ERROR: run_policy_group no longer routes multi-policy groups through the factored engine" >&2
+    exit 1
+}
+grep -q 'factored: true' crates/sim/src/runner.rs || {
+    echo "ERROR: RunnerConfig::default() no longer enables the factored engine" >&2
+    exit 1
+}
 
 echo "==> legacy-dyn gate (dynamic dispatch must stay behind the feature)"
 # Simulator::new and PolicyKind::build exist only under the legacy-dyn
@@ -94,9 +111,10 @@ cargo run --release -q -p chirp-query --bin chirp-dash -- \
     --trajectory BENCH_runner.json --store "$query_store" \
     --out "$smoke_dir/dashboard.html"
 grep -q 'id="chirp-data"' "$smoke_dir/dashboard.html"
-# Trajectory panels and the ledger-backed MPKI panel both made it into
-# the embedded payload.
+# Trajectory panels (including the factored-throughput panel) and the
+# ledger-backed MPKI panel all made it into the embedded payload.
 grep -q 'instr_per_sec_1t' "$smoke_dir/dashboard.html"
+grep -q 'sim_throughput_factored' "$smoke_dir/dashboard.html"
 grep -q 'mpki_by_policy' "$smoke_dir/dashboard.html"
 
 echo "==> chirp-serve smoke (submit, archived re-run, graceful shutdown)"
